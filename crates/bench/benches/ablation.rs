@@ -1,0 +1,112 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * state-transfer size vs stall time (the throughput knob of §3),
+//! * per-phase overhead vs migration cost,
+//! * mesh scaling of the phased planner (4x4 → 8x8),
+//! * routing algorithm (XY vs YX) under the LDPC workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hotnoc_ldpc::app::{ComputeModel, LdpcNocApp};
+use hotnoc_ldpc::schedule::MessageParams;
+use hotnoc_ldpc::{ClusterMapping, LdpcCode};
+use hotnoc_noc::{Mesh, Network, NocConfig, RoutingKind};
+use hotnoc_reconfig::phases::PhaseCostModel;
+use hotnoc_reconfig::{MigrationPlan, MigrationScheme, StateSpec};
+
+fn print_state_size_ablation() {
+    println!("\nAblation: per-PE state size vs migration stall (5x5, X-Y shift / Rot):");
+    println!(
+        "{:>12} {:>10} {:>14} {:>14}",
+        "state bits", "flits/PE", "XYS stall us", "Rot stall us"
+    );
+    let mesh = Mesh::square(5).expect("mesh");
+    for state_bits in [8_192u64, 16_384, 45_056, 90_112] {
+        let spec = StateSpec {
+            config_bits: 4_096,
+            state_bits,
+            flit_bits: 64,
+        };
+        let stall = |scheme| {
+            MigrationPlan::plan(mesh, scheme, &spec, &PhaseCostModel::default()).total_cycles()
+                as f64
+                / 500.0
+        };
+        println!(
+            "{:>12} {:>10} {:>14.2} {:>14.2}",
+            state_bits,
+            spec.flits_per_pe(),
+            stall(MigrationScheme::XYShift),
+            stall(MigrationScheme::Rotation)
+        );
+    }
+}
+
+fn print_overhead_ablation() {
+    println!("\nAblation: per-phase overhead vs rotation migration cost (5x5):");
+    println!("{:>16} {:>12} {:>14}", "overhead cyc", "phases", "stall us");
+    let mesh = Mesh::square(5).expect("mesh");
+    for overhead in [0u32, 32, 96, 256] {
+        let cost = PhaseCostModel {
+            cycles_per_hop: 2,
+            phase_overhead_cycles: overhead,
+        };
+        let plan = MigrationPlan::plan(mesh, MigrationScheme::Rotation, &StateSpec::default(), &cost);
+        println!(
+            "{:>16} {:>12} {:>14.2}",
+            overhead,
+            plan.num_phases(),
+            plan.total_cycles() as f64 / 500.0
+        );
+    }
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    print_state_size_ablation();
+    print_overhead_ablation();
+
+    // Mesh scaling of the planner (is congestion-free planning viable for
+    // the 64-PE chips the migration unit addresses?).
+    let mut group = c.benchmark_group("ablation/planner_scaling");
+    for side in [4usize, 5, 6, 8] {
+        group.bench_function(format!("{side}x{side}_rotation"), |b| {
+            let mesh = Mesh::square(side).expect("mesh");
+            b.iter(|| {
+                MigrationPlan::plan(
+                    mesh,
+                    MigrationScheme::Rotation,
+                    &StateSpec::default(),
+                    &PhaseCostModel::default(),
+                )
+            })
+        });
+    }
+    group.finish();
+
+    // Routing algorithm ablation under the real workload.
+    let mut group = c.benchmark_group("ablation/routing");
+    group.sample_size(10);
+    for routing in [RoutingKind::Xy, RoutingKind::Yx] {
+        group.bench_function(format!("{routing:?}_ldpc_block"), |b| {
+            let code = LdpcCode::gallager(960, 3, 6, 7).expect("code");
+            let mapping = ClusterMapping::contiguous(&code, 16).expect("mapping");
+            let mut app = LdpcNocApp::new(
+                code,
+                mapping,
+                LdpcNocApp::identity_placement(16),
+                MessageParams::default(),
+                ComputeModel::default(),
+            )
+            .expect("app");
+            b.iter(|| {
+                let mesh = Mesh::square(4).expect("mesh");
+                let mut net =
+                    Network::try_new(mesh, NocConfig::default(), routing).expect("network");
+                app.run_block(&mut net, 5).expect("block")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

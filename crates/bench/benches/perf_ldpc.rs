@@ -1,0 +1,66 @@
+//! Engineering benches for the LDPC workload: construction, encoding,
+//! decoding, and the NoC application block that feeds the thermal flow.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hotnoc_ldpc::app::{ComputeModel, LdpcNocApp};
+use hotnoc_ldpc::channel::AwgnChannel;
+use hotnoc_ldpc::schedule::MessageParams;
+use hotnoc_ldpc::{ClusterMapping, Encoder, LdpcCode, MinSumDecoder, SumProductDecoder};
+use hotnoc_noc::{Mesh, Network, NocConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_ldpc(c: &mut Criterion) {
+    c.bench_function("ldpc/gallager_construction_1200", |b| {
+        b.iter(|| LdpcCode::gallager(1200, 3, 6, black_box(7)).expect("code"))
+    });
+
+    let code = LdpcCode::gallager(1200, 3, 6, 7).expect("code");
+    let encoder = Encoder::new(&code).expect("encoder");
+    let mut rng = StdRng::seed_from_u64(5);
+    let msg: Vec<bool> = (0..encoder.k()).map(|_| rng.gen()).collect();
+    let word = encoder.encode(&msg).expect("encode");
+    let mut chan = AwgnChannel::new(3.0, code.rate(), 3);
+    let llrs = chan.transmit(&word);
+
+    c.bench_function("ldpc/encoder_build_1200", |b| {
+        b.iter(|| Encoder::new(black_box(&code)).expect("encoder"))
+    });
+
+    c.bench_function("ldpc/encode_1200", |b| {
+        b.iter(|| encoder.encode(black_box(&msg)).expect("encode"))
+    });
+
+    c.bench_function("ldpc/min_sum_decode_1200", |b| {
+        let dec = MinSumDecoder::default();
+        b.iter(|| dec.decode(&code, black_box(&llrs)))
+    });
+
+    c.bench_function("ldpc/sum_product_decode_1200", |b| {
+        let dec = SumProductDecoder::default();
+        b.iter(|| dec.decode(&code, black_box(&llrs)))
+    });
+
+    let mut group = c.benchmark_group("ldpc/noc_block");
+    group.sample_size(10);
+    group.bench_function("4x4_10iters", |b| {
+        let code = LdpcCode::gallager(960, 3, 6, 7).expect("code");
+        let mapping = ClusterMapping::contiguous(&code, 16).expect("mapping");
+        let mut app = LdpcNocApp::new(
+            code,
+            mapping,
+            LdpcNocApp::identity_placement(16),
+            MessageParams::default(),
+            ComputeModel::default(),
+        )
+        .expect("app");
+        b.iter(|| {
+            let mut net = Network::new(Mesh::square(4).expect("mesh"), NocConfig::default());
+            app.run_block(&mut net, 10).expect("block")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ldpc);
+criterion_main!(benches);

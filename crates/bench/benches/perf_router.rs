@@ -1,0 +1,65 @@
+//! Engineering benches for the cycle-accurate NoC simulator: cycle
+//! throughput under synthetic load and saturation behaviour. Prints a
+//! latency/offered-load curve once (the classic NoC characterization).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hotnoc_noc::{Mesh, Network, NocConfig, TrafficGenerator, TrafficPattern};
+
+fn latency_load_curve() {
+    println!("\nUniform-random latency/load curve (4x4 mesh, 4-flit packets):");
+    println!("{:>12} {:>16} {:>14}", "inject rate", "mean latency", "delivered");
+    for rate in [0.01, 0.05, 0.1, 0.2, 0.3] {
+        let mesh = Mesh::square(4).expect("mesh");
+        let mut net = Network::new(mesh, NocConfig::default());
+        let mut gen = TrafficGenerator::new(mesh, TrafficPattern::UniformRandom, rate, 4, 7);
+        for _ in 0..5_000 {
+            gen.tick(&mut net);
+            net.step();
+        }
+        let _ = net.run_until_idle(200_000);
+        println!(
+            "{rate:>12.2} {:>16.1} {:>14}",
+            net.stats().mean_latency().unwrap_or(f64::NAN),
+            net.stats().packets_delivered
+        );
+    }
+}
+
+fn bench_router(c: &mut Criterion) {
+    latency_load_curve();
+
+    let mut group = c.benchmark_group("noc/steps_per_sec");
+    for side in [4usize, 5, 8] {
+        group.bench_function(format!("{side}x{side}_idle"), |b| {
+            let mesh = Mesh::square(side).expect("mesh");
+            let mut net = Network::new(mesh, NocConfig::default());
+            b.iter(|| net.run(100));
+        });
+        group.bench_function(format!("{side}x{side}_loaded"), |b| {
+            let mesh = Mesh::square(side).expect("mesh");
+            let mut net = Network::new(mesh, NocConfig::default());
+            let mut gen =
+                TrafficGenerator::new(mesh, TrafficPattern::UniformRandom, 0.1, 4, 13);
+            b.iter(|| {
+                for _ in 0..100 {
+                    gen.tick(&mut net);
+                    net.step();
+                }
+            });
+        });
+    }
+    group.finish();
+
+    c.bench_function("noc/transpose_burst_drain_4x4", |b| {
+        let mesh = Mesh::square(4).expect("mesh");
+        b.iter(|| {
+            let mut net = Network::new(mesh, NocConfig::default());
+            let mut gen = TrafficGenerator::new(mesh, TrafficPattern::Transpose, 1.0, 4, 3);
+            gen.tick(&mut net);
+            net.run_until_idle(10_000).expect("drain");
+        });
+    });
+}
+
+criterion_group!(benches, bench_router);
+criterion_main!(benches);

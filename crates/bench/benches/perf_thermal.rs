@@ -1,0 +1,56 @@
+//! Engineering benches for the thermal solver: steady-state solve, network
+//! construction and transient stepping — the inner loop of the
+//! co-simulation (thousands of backward-Euler steps per experiment).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hotnoc_thermal::{Floorplan, Integrator, PackageConfig, RcNetwork, TransientSim};
+
+fn bench_thermal(c: &mut Criterion) {
+    let pkg = PackageConfig::date05_defaults();
+
+    let mut group = c.benchmark_group("thermal/build");
+    for side in [4usize, 5, 8] {
+        group.bench_function(format!("{side}x{side}"), |b| {
+            let plan = Floorplan::mesh_grid(side, side, 4.36e-6).expect("plan");
+            b.iter(|| RcNetwork::build(black_box(&plan), &pkg).expect("build"));
+        });
+    }
+    group.finish();
+
+    let plan5 = Floorplan::mesh_grid(5, 5, 4.36e-6).expect("plan");
+    let net5 = RcNetwork::build(&plan5, &pkg).expect("build");
+    let power = vec![1.2; 25];
+
+    c.bench_function("thermal/steady_state_5x5", |b| {
+        b.iter(|| net5.steady_state(black_box(&power)).expect("solve"))
+    });
+
+    c.bench_function("thermal/be_step_5x5", |b| {
+        let mut sim = TransientSim::new(&net5, 5e-6, Integrator::BackwardEuler).expect("sim");
+        sim.init_from_steady(&power).expect("init");
+        b.iter(|| sim.step(black_box(&power)).expect("step"))
+    });
+
+    c.bench_function("thermal/rk4_step_5x5", |b| {
+        let mut sim = TransientSim::new(&net5, 5e-6, Integrator::Rk4).expect("sim");
+        sim.init_from_steady(&power).expect("init");
+        b.iter(|| sim.step(black_box(&power)).expect("step"))
+    });
+
+    c.bench_function("thermal/cosim_window_1ms_5x5", |b| {
+        // 200 BE steps of 5 us = 1 ms of simulated time: the unit of work
+        // the migration co-simulation performs per millisecond.
+        b.iter(|| {
+            let mut sim =
+                TransientSim::new(&net5, 5e-6, Integrator::BackwardEuler).expect("sim");
+            sim.init_from_steady(&power).expect("init");
+            for _ in 0..200 {
+                sim.step(&power).expect("step");
+            }
+            sim.peak_block_temp()
+        })
+    });
+}
+
+criterion_group!(benches, bench_thermal);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Bench + regeneration harness for **Table 1** (transformation functions).
+//!
+//! Prints the table once, then benchmarks the migration-unit datapath: the
+//! paper argues the unit is "small, fast, and low power" because the
+//! transforms are trivial arithmetic on 3-bit operands — these benches put
+//! numbers on "fast" (nanoseconds per full-chip remap).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hotnoc_noc::Mesh;
+use hotnoc_reconfig::{MigrationScheme, MigrationUnit, OrbitDecomposition};
+
+fn print_table1() {
+    println!("\nTable 1. Transformation Functions");
+    println!("{:<16}{:<18}{:<18}", "", "New X", "New Y");
+    for s in [
+        MigrationScheme::Rotation,
+        MigrationScheme::XMirror,
+        MigrationScheme::XTranslation { offset: 1 },
+    ] {
+        let (x, y) = s.table1_row();
+        println!("{:<16}{x:<18}{y:<18}", s.to_string());
+    }
+}
+
+fn bench_transforms(c: &mut Criterion) {
+    print_table1();
+    let mesh = Mesh::square(8).expect("valid mesh");
+    let coords: Vec<_> = mesh.iter_coords().collect();
+
+    let mut group = c.benchmark_group("table1/apply_full_chip");
+    for scheme in MigrationScheme::FIGURE1 {
+        group.bench_function(scheme.to_string().replace(' ', "_"), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for &co in &coords {
+                    let out = scheme.apply(black_box(co), mesh);
+                    acc = acc.wrapping_add(out.x as u32 + out.y as u32);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("table1/permutation_5x5", |b| {
+        let mesh = Mesh::square(5).expect("valid mesh");
+        b.iter(|| MigrationScheme::Rotation.permutation(black_box(mesh)))
+    });
+
+    c.bench_function("table1/orbit_decomposition_5x5", |b| {
+        let mesh = Mesh::square(5).expect("valid mesh");
+        b.iter(|| OrbitDecomposition::new(black_box(MigrationScheme::XYShift), mesh))
+    });
+
+    c.bench_function("table1/migration_unit_remap_64pe", |b| {
+        let mesh = Mesh::square(8).expect("valid mesh");
+        let mut unit = MigrationUnit::new(mesh, MigrationScheme::Rotation);
+        let coords: Vec<_> = mesh.iter_coords().collect();
+        b.iter(|| {
+            for &co in &coords {
+                black_box(unit.transform(co));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_transforms);
+criterion_main!(benches);

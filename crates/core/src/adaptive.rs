@@ -1,0 +1,240 @@
+//! Runtime-adaptive migration-function selection.
+//!
+//! §2.3 of the paper: "the same migration unit can perform all migration
+//! functions presented with only minor changes to the mathematical
+//! operations, allowing dynamic alteration of the migration function at
+//! runtime." This module exploits that hardware capability: instead of
+//! committing to one scheme at design time, the controller re-evaluates at
+//! every migration point which transform will flatten the *current*
+//! physical power map best, using the orbit-average predictor (cheap: a few
+//! steady-state solves on a tiny RC network — well within a migration
+//! period even for firmware).
+//!
+//! This is the natural extension of the paper's observation that the best
+//! fixed scheme differs per chip (rotation on the 4x4s, translation on the
+//! 5x5s): an adaptive policy recovers the best of both without knowing the
+//! configuration in advance.
+
+use crate::chip::{CalibratedPower, Chip};
+use crate::cosim::CosimParams;
+use crate::error::CoreError;
+use hotnoc_power::leakage;
+use hotnoc_reconfig::phases::PhaseCostModel;
+use hotnoc_reconfig::{MigrationPlan, MigrationScheme, OrbitDecomposition, StateSpec};
+use hotnoc_thermal::{Integrator, ThermalTrace, TransientSim};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of an adaptive co-simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveResult {
+    /// Static baseline peak (°C).
+    pub base_peak: f64,
+    /// Peak under adaptive migration (°C), after warm-up.
+    pub peak: f64,
+    /// `base_peak - peak` (°C).
+    pub reduction: f64,
+    /// Sequence of schemes the controller chose (one per migration).
+    pub schedule: Vec<MigrationScheme>,
+    /// Throughput penalty (time-weighted over the chosen schemes' stalls).
+    pub throughput_penalty: f64,
+}
+
+/// Greedy one-step-lookahead scheme selection: among the applicable
+/// transforms, pick the one whose orbit-averaged power map (an upper bound
+/// on what sustained use of the scheme can achieve) has the lowest
+/// steady-state peak; energy cost breaks ties toward cheaper schemes.
+///
+/// `current_power` is the *physical* per-tile dynamic map at the decision
+/// point.
+///
+/// # Errors
+///
+/// Propagates thermal solver failures.
+pub fn pick_scheme(
+    chip: &Chip,
+    current_power: &[f64],
+    params: &CosimParams,
+) -> Result<MigrationScheme, CoreError> {
+    let mesh = chip.mesh();
+    let mut best: Option<(f64, MigrationScheme)> = None;
+    for scheme in MigrationScheme::FIGURE1 {
+        if !scheme.is_applicable(mesh) {
+            continue;
+        }
+        let averaged =
+            OrbitDecomposition::new(scheme, mesh).time_averaged_power(current_power);
+        let temps = chip.steady_with_leakage(&averaged)?;
+        let peak = temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Energy tie-breaker: one migration's energy spread over a period,
+        // expressed as an equivalent temperature penalty through the
+        // package's shared resistance (~0.5 K/W effective).
+        let plan = MigrationPlan::plan(mesh, scheme, &StateSpec::default(), &PhaseCostModel::default());
+        let stall_s = plan.total_cycles() as f64 / chip.noc_config().clock_hz;
+        let energy = plan.total_flit_hops() as f64 * params.e_flit_hop
+            + plan.per_tile_endpoint_flits(mesh).iter().sum::<u64>() as f64
+                * params.e_convert_flit
+            + stall_s * params.stall_power_fraction * current_power.iter().sum::<f64>();
+        let period_s = 100e-6; // nominal period for the tie-break weight
+        let penalty_c = 0.5 * energy / (period_s + stall_s);
+        let score = peak + penalty_c;
+        if best.is_none_or(|(b, _)| score < b) {
+            best = Some((score, scheme));
+        }
+    }
+    Ok(best.expect("at least one applicable scheme").1)
+}
+
+/// Runs the transient co-simulation with adaptive scheme selection at every
+/// migration point.
+///
+/// # Errors
+///
+/// Propagates thermal solver failures.
+pub fn run_adaptive_cosim(
+    chip: &Chip,
+    cal: &CalibratedPower,
+    params: &CosimParams,
+) -> Result<AdaptiveResult, CoreError> {
+    let n = chip.spec().n_tiles();
+    let mesh = chip.mesh();
+    let areas = chip.tile_areas_mm2();
+    let clock = chip.noc_config().clock_hz;
+
+    let base_temps = chip.steady_with_leakage(&cal.dynamic)?;
+    let base_peak = base_temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+
+    let period_s = cal.block_seconds * params.period_blocks as f64;
+
+    // Current physical power map (starts at the base placement).
+    let mut current = cal.dynamic.clone();
+    let mut schedule = Vec::new();
+
+    let mut sim = TransientSim::new(chip.thermal(), params.dt, Integrator::BackwardEuler)?;
+    sim.init_from_steady(&{
+        let leak = leakage::leakage_per_block(&areas, &base_temps, chip.tech());
+        current.iter().zip(&leak).map(|(d, l)| d + l).collect::<Vec<f64>>()
+    })?;
+
+    let frames = (params.sim_time / params.dt).round() as usize;
+    let warmup_frames = (params.warmup / params.dt).round() as usize;
+    let mut trace = ThermalTrace::new(params.dt, n);
+
+    let mut time_in_period = 0.0f64;
+    let mut stall_time_total = 0.0f64;
+    let mut active_time_total = 0.0f64;
+    for _ in 0..frames {
+        // Migration decision at period boundaries (the stall is folded into
+        // the frame energy rather than sub-frame timing: stalls are ~2 % of
+        // a period and the adaptive policy is the object of study here).
+        if time_in_period >= period_s {
+            time_in_period = 0.0;
+            let scheme = pick_scheme(chip, &current, params)?;
+            schedule.push(scheme);
+            // Apply: workload at tile t moves to scheme(t).
+            let mut next = vec![0.0; n];
+            for tile in 0..n {
+                let c = mesh.coord(hotnoc_noc::NodeId::new(tile as u16));
+                let dst = scheme.apply(c, mesh);
+                next[mesh.node_id(dst).expect("on mesh").index()] = current[tile];
+            }
+            current = next;
+            let plan = MigrationPlan::plan(
+                mesh,
+                scheme,
+                &StateSpec::default(),
+                &PhaseCostModel::default(),
+            );
+            stall_time_total += plan.total_cycles() as f64 / clock;
+        }
+        let mut power = current.clone();
+        let leak = leakage::leakage_per_block(&areas, sim.block_temps(), chip.tech());
+        for (p, l) in power.iter_mut().zip(&leak) {
+            *p += l;
+        }
+        sim.step(&power)?;
+        trace.push(sim.block_temps());
+        time_in_period += params.dt;
+        active_time_total += params.dt;
+    }
+
+    let stats = trace
+        .stats_after(warmup_frames.min(frames.saturating_sub(1)))
+        .expect("at least one measured frame");
+
+    Ok(AdaptiveResult {
+        base_peak,
+        peak: stats.peak,
+        reduction: base_peak - stats.peak,
+        schedule,
+        throughput_penalty: stall_time_total / (active_time_total + stall_time_total),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::{ChipConfigId, ChipSpec, Fidelity};
+    use crate::cosim::{run_cosim, CosimParams};
+
+    fn chip_and_cal(id: ChipConfigId) -> (Chip, CalibratedPower) {
+        let mut chip = Chip::build(ChipSpec::of(id, Fidelity::Quick)).unwrap();
+        let cal = chip.calibrate().unwrap();
+        (chip, cal)
+    }
+
+    #[test]
+    fn picks_rotation_class_on_config_a() {
+        // A's diagonal texture favours rotation; adaptive should find it.
+        let (chip, cal) = chip_and_cal(ChipConfigId::A);
+        let scheme = pick_scheme(&chip, &cal.dynamic, &CosimParams::quick()).unwrap();
+        assert!(
+            matches!(
+                scheme,
+                MigrationScheme::Rotation | MigrationScheme::XYMirror
+            ),
+            "expected a rotation-class scheme on A, got {scheme}"
+        );
+    }
+
+    #[test]
+    fn picks_translation_on_config_e() {
+        let (chip, cal) = chip_and_cal(ChipConfigId::E);
+        let scheme = pick_scheme(&chip, &cal.dynamic, &CosimParams::quick()).unwrap();
+        assert!(
+            matches!(
+                scheme,
+                MigrationScheme::XYShift | MigrationScheme::XTranslation { .. }
+            ),
+            "expected translation on E's centre hotspot, got {scheme}"
+        );
+    }
+
+    #[test]
+    fn adaptive_matches_best_fixed_scheme() {
+        for id in [ChipConfigId::A, ChipConfigId::E] {
+            let (chip, cal) = chip_and_cal(id);
+            let params = CosimParams::quick();
+            let adaptive = run_adaptive_cosim(&chip, &cal, &params).unwrap();
+            assert!(!adaptive.schedule.is_empty(), "{id}: no migrations chosen");
+            let best_fixed = MigrationScheme::FIGURE1
+                .iter()
+                .map(|&s| run_cosim(&chip, &cal, Some(s), &params).unwrap().reduction)
+                .fold(f64::MIN, f64::max);
+            assert!(
+                adaptive.reduction > best_fixed - 1.0,
+                "{id}: adaptive {:.2} far below best fixed {:.2}",
+                adaptive.reduction,
+                best_fixed
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_schedule_is_consistent() {
+        let (chip, cal) = chip_and_cal(ChipConfigId::D);
+        let params = CosimParams::quick();
+        let a = run_adaptive_cosim(&chip, &cal, &params).unwrap();
+        let b = run_adaptive_cosim(&chip, &cal, &params).unwrap();
+        assert_eq!(a.schedule, b.schedule, "adaptive policy must be deterministic");
+    }
+}

@@ -1,0 +1,377 @@
+//! The paper's experiments, packaged.
+//!
+//! * [`run_fig1`] — Figure 1: reduction in peak temperature for every
+//!   configuration under every migration scheme (plus the §3 averages).
+//! * [`run_period_sweep`] — the §3 in-text sweep over migration periods
+//!   (1, 4, 8 blocks ≈ 109.3, 437.2, 874.4 µs) trading throughput against
+//!   peak temperature.
+//! * [`run_migration_cost`] — the §2.2 migration cost model: phases, stall
+//!   time and energy per scheme.
+//! * [`quick_demo`] — a seconds-fast end-to-end run for documentation and
+//!   smoke tests.
+
+use crate::chip::Chip;
+use crate::configs::{ChipConfigId, ChipSpec, Fidelity};
+use crate::cosim::{run_cosim, CosimParams, CosimResult};
+use crate::error::CoreError;
+use hotnoc_reconfig::phases::PhaseCostModel;
+use hotnoc_reconfig::{MigrationPlan, MigrationScheme, StateSpec};
+use serde::{Deserialize, Serialize};
+
+/// One configuration's row of Figure 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig1Row {
+    /// The configuration.
+    pub config: ChipConfigId,
+    /// Its base (static) peak temperature, °C.
+    pub base_peak: f64,
+    /// Results per scheme, in [`MigrationScheme::FIGURE1`] order.
+    pub results: Vec<CosimResult>,
+}
+
+/// The regenerated Figure 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig1Table {
+    /// One row per configuration A–E.
+    pub rows: Vec<Fig1Row>,
+}
+
+impl Fig1Table {
+    /// Mean peak-temperature reduction per scheme across configurations
+    /// (the §3 ranking: X-Y shift 4.62 °C, rotation 4.15 °C in the paper).
+    pub fn average_reductions(&self) -> Vec<f64> {
+        let k = MigrationScheme::FIGURE1.len();
+        let mut avg = vec![0.0; k];
+        for row in &self.rows {
+            for (i, r) in row.results.iter().enumerate() {
+                avg[i] += r.reduction;
+            }
+        }
+        for a in avg.iter_mut() {
+            *a /= self.rows.len() as f64;
+        }
+        avg
+    }
+
+    /// The scheme with the highest average reduction.
+    pub fn best_scheme(&self) -> MigrationScheme {
+        let avg = self.average_reductions();
+        let best = avg
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("non-empty")
+            .0;
+        MigrationScheme::FIGURE1[best]
+    }
+}
+
+/// Regenerates Figure 1 at the chosen fidelity.
+///
+/// # Errors
+///
+/// Propagates chip construction, calibration and co-simulation failures.
+pub fn run_fig1(fidelity: Fidelity, params: &CosimParams) -> Result<Fig1Table, CoreError> {
+    let mut rows = Vec::new();
+    for id in ChipConfigId::ALL {
+        let mut chip = Chip::build(ChipSpec::of(id, fidelity))?;
+        let cal = chip.calibrate()?;
+        let mut results = Vec::new();
+        for scheme in MigrationScheme::FIGURE1 {
+            results.push(run_cosim(&chip, &cal, Some(scheme), params)?);
+        }
+        rows.push(Fig1Row {
+            config: id,
+            base_peak: results[0].base_peak,
+            results,
+        });
+    }
+    Ok(Fig1Table { rows })
+}
+
+/// One row of the migration-period sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeriodRow {
+    /// Period in decoded blocks.
+    pub period_blocks: u64,
+    /// Period in microseconds (measured block time × blocks).
+    pub period_us: f64,
+    /// Throughput penalty in percent.
+    pub penalty_pct: f64,
+    /// Peak temperature under migration, °C.
+    pub peak: f64,
+    /// Peak-temperature reduction vs the static base, °C.
+    pub reduction: f64,
+}
+
+/// The §3 period sweep for one configuration and scheme.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeriodTable {
+    /// Configuration swept.
+    pub config: ChipConfigId,
+    /// Migration scheme used.
+    pub scheme: MigrationScheme,
+    /// One row per period.
+    pub rows: Vec<PeriodRow>,
+}
+
+/// Runs the migration-period sweep (`periods` are in blocks; the paper uses
+/// 1, 4 and 8 blocks).
+///
+/// # Errors
+///
+/// Propagates chip construction, calibration and co-simulation failures.
+pub fn run_period_sweep(
+    id: ChipConfigId,
+    scheme: MigrationScheme,
+    periods: &[u64],
+    fidelity: Fidelity,
+    params: &CosimParams,
+) -> Result<PeriodTable, CoreError> {
+    let mut chip = Chip::build(ChipSpec::of(id, fidelity))?;
+    let cal = chip.calibrate()?;
+    let mut rows = Vec::new();
+    for &blocks in periods {
+        let p = CosimParams {
+            period_blocks: blocks,
+            ..*params
+        };
+        let r = run_cosim(&chip, &cal, Some(scheme), &p)?;
+        rows.push(PeriodRow {
+            period_blocks: blocks,
+            period_us: r.period_seconds * 1e6,
+            penalty_pct: r.throughput_penalty * 100.0,
+            peak: r.peak,
+            reduction: r.reduction,
+        });
+    }
+    Ok(PeriodTable {
+        config: id,
+        scheme,
+        rows,
+    })
+}
+
+/// Migration cost of one scheme on one chip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationCostRow {
+    /// The scheme.
+    pub scheme: MigrationScheme,
+    /// Congestion-free phases.
+    pub phases: usize,
+    /// Stall time, µs.
+    pub stall_us: f64,
+    /// State-transfer flit-hops.
+    pub flit_hops: u64,
+    /// Energy per migration, µJ.
+    pub energy_uj: f64,
+    /// PEs moved.
+    pub moves: usize,
+}
+
+/// Computes the migration cost table for one configuration.
+///
+/// # Errors
+///
+/// Propagates chip construction and calibration failures.
+pub fn run_migration_cost(
+    id: ChipConfigId,
+    fidelity: Fidelity,
+    params: &CosimParams,
+) -> Result<Vec<MigrationCostRow>, CoreError> {
+    let mut chip = Chip::build(ChipSpec::of(id, fidelity))?;
+    let cal = chip.calibrate()?;
+    let clock = chip.noc_config().clock_hz;
+    let mut rows = Vec::new();
+    for scheme in MigrationScheme::FIGURE1 {
+        let plan = MigrationPlan::plan(
+            chip.mesh(),
+            scheme,
+            &StateSpec::default(),
+            &PhaseCostModel::default(),
+        );
+        let stall_s = plan.total_cycles() as f64 / clock;
+        let energy = plan.total_flit_hops() as f64 * params.e_flit_hop
+            + plan.per_tile_endpoint_flits(chip.mesh()).iter().sum::<u64>() as f64
+                * params.e_convert_flit
+            + stall_s * params.stall_power_fraction * cal.total_dynamic;
+        rows.push(MigrationCostRow {
+            scheme,
+            phases: plan.num_phases(),
+            stall_us: stall_s * 1e6,
+            flit_hops: plan.total_flit_hops(),
+            energy_uj: energy * 1e6,
+            moves: plan.total_moves(),
+        });
+    }
+    Ok(rows)
+}
+
+/// One row of the placement ablation: how the placement quality of the
+/// *same* workload changes what migration can recover.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementAblationRow {
+    /// Placement label ("thermally-aware", "random(seed)").
+    pub placement: String,
+    /// Static peak of this placement (°C).
+    pub base_peak: f64,
+    /// Peak reduction achieved by X-Y shift migration (°C).
+    pub reduction: f64,
+}
+
+/// The §2 worst-case argument, quantified: "Using such a thermally-aware
+/// mapping puts our method in a worst-case light". This ablation takes one
+/// configuration's calibrated power map (the thermally-placed artifact) and
+/// compares it against random placements of the *same* per-cluster powers —
+/// without recalibration, so base peaks differ. Migration should recover
+/// *more* on the worse placements.
+///
+/// # Errors
+///
+/// Propagates chip construction, calibration and co-simulation failures.
+pub fn run_placement_ablation(
+    id: ChipConfigId,
+    fidelity: Fidelity,
+    params: &CosimParams,
+    random_seeds: &[u64],
+) -> Result<Vec<PlacementAblationRow>, CoreError> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    let mut chip = Chip::build(ChipSpec::of(id, fidelity))?;
+    let cal = chip.calibrate()?;
+
+    let mut rows = Vec::new();
+    let base = run_cosim(&chip, &cal, Some(MigrationScheme::XYShift), params)?;
+    rows.push(PlacementAblationRow {
+        placement: "thermally-aware".to_owned(),
+        base_peak: base.base_peak,
+        reduction: base.reduction,
+    });
+
+    for &seed in random_seeds {
+        let mut shuffled = cal.clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        shuffled.dynamic.shuffle(&mut rng);
+        let r = run_cosim(&chip, &shuffled, Some(MigrationScheme::XYShift), params)?;
+        rows.push(PlacementAblationRow {
+            placement: format!("random({seed})"),
+            base_peak: r.base_peak,
+            reduction: r.reduction,
+        });
+    }
+    Ok(rows)
+}
+
+/// Outcome of [`quick_demo`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuickDemoOutcome {
+    /// Configuration demonstrated.
+    pub config: ChipConfigId,
+    /// Base peak temperature, °C.
+    pub base_peak_celsius: f64,
+    /// Peak reduction achieved by X-Y shift migration, °C.
+    pub reduction_celsius: f64,
+    /// Throughput penalty (fraction).
+    pub throughput_penalty: f64,
+}
+
+/// Seconds-fast end-to-end demonstration: builds the configuration at
+/// [`Fidelity::Quick`], calibrates it and runs a short X-Y shift
+/// co-simulation.
+///
+/// # Errors
+///
+/// Propagates construction, calibration and co-simulation failures.
+pub fn quick_demo(id: ChipConfigId) -> Result<QuickDemoOutcome, CoreError> {
+    let mut chip = Chip::build(ChipSpec::of(id, Fidelity::Quick))?;
+    let cal = chip.calibrate()?;
+    let r = run_cosim(
+        &chip,
+        &cal,
+        Some(MigrationScheme::XYShift),
+        &CosimParams::quick(),
+    )?;
+    Ok(QuickDemoOutcome {
+        config: id,
+        base_peak_celsius: r.base_peak,
+        reduction_celsius: r.reduction,
+        throughput_penalty: r.throughput_penalty,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_demo_runs_all_configs() {
+        for id in [ChipConfigId::A, ChipConfigId::D] {
+            let out = quick_demo(id).unwrap();
+            assert!(out.base_peak_celsius > 70.0);
+            assert!(out.throughput_penalty > 0.0);
+        }
+    }
+
+    #[test]
+    fn migration_cost_rows_cover_all_schemes() {
+        let rows =
+            run_migration_cost(ChipConfigId::A, Fidelity::Quick, &CosimParams::quick()).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|r| r.energy_uj > 0.0));
+        // Rotation stalls longest (most phases) — the paper's "largest
+        // energy penalty".
+        let rot = &rows[0];
+        let xys = &rows[4];
+        assert!(rot.stall_us > xys.stall_us);
+        assert!(rot.energy_uj > xys.energy_uj);
+    }
+
+    #[test]
+    fn random_placements_leave_more_for_migration_to_recover() {
+        // §2's worst-case argument: a thermally-aware placement minimizes
+        // what migration can still win; random placements of the same
+        // workload run hotter and gain more from migration.
+        let rows = run_placement_ablation(
+            ChipConfigId::A,
+            Fidelity::Quick,
+            &CosimParams::quick(),
+            &[3, 7],
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 3);
+        let thermal = &rows[0];
+        for random in &rows[1..] {
+            assert!(
+                random.reduction + 0.3 > thermal.reduction,
+                "random placement {} should gain at least as much: {:.2} vs {:.2}",
+                random.placement,
+                random.reduction,
+                thermal.reduction
+            );
+        }
+        // And migration brings every placement's peak into a similar band:
+        // the flattened (orbit-averaged) map is placement-independent up to
+        // geometry.
+        let final_peaks: Vec<f64> = rows.iter().map(|r| r.base_peak - r.reduction).collect();
+        let spread = final_peaks.iter().cloned().fold(f64::MIN, f64::max)
+            - final_peaks.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 4.0, "post-migration peaks too spread: {final_peaks:?}");
+    }
+
+    #[test]
+    fn period_sweep_penalty_decreases_with_period() {
+        let t = run_period_sweep(
+            ChipConfigId::A,
+            MigrationScheme::XYShift,
+            &[8, 32],
+            Fidelity::Quick,
+            &CosimParams::quick(),
+        )
+        .unwrap();
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.rows[0].penalty_pct > t.rows[1].penalty_pct);
+        let ratio = t.rows[0].penalty_pct / t.rows[1].penalty_pct;
+        assert!((2.5..4.0).contains(&ratio), "penalty ratio {ratio} off");
+    }
+}

@@ -1,0 +1,197 @@
+//! Rendering of experiment results as ASCII tables, CSV and heatmaps.
+
+use crate::experiment::{Fig1Table, MigrationCostRow, PeriodTable};
+use hotnoc_reconfig::MigrationScheme;
+use std::fmt::Write as _;
+
+/// Renders the regenerated Figure 1 as an ASCII table (reductions in °C).
+pub fn fig1_ascii(table: &Fig1Table) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 1: Reduction in Peak Temps (degrees C)");
+    let _ = write!(out, "{:<14}", "Config (base)");
+    for s in MigrationScheme::FIGURE1 {
+        let _ = write!(out, "{:>12}", s.to_string());
+    }
+    let _ = writeln!(out);
+    for row in &table.rows {
+        let label = format!("{} ({:.2})", row.config, row.base_peak);
+        let _ = write!(out, "{label:<14}");
+        for r in &row.results {
+            let _ = write!(out, "{:>12.2}", r.reduction);
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "{:<14}", "Average");
+    for a in table.average_reductions() {
+        let _ = write!(out, "{a:>12.2}");
+    }
+    let _ = writeln!(out);
+    out
+}
+
+/// Renders Figure 1 as CSV (`config,base_peak,rot,...`).
+pub fn fig1_csv(table: &Fig1Table) -> String {
+    let mut out = String::from("config,base_peak_c");
+    for s in MigrationScheme::FIGURE1 {
+        let _ = write!(out, ",{}", s.to_string().replace(' ', "_").to_lowercase());
+    }
+    out.push('\n');
+    for row in &table.rows {
+        let _ = write!(out, "{},{:.2}", row.config, row.base_peak);
+        for r in &row.results {
+            let _ = write!(out, ",{:.3}", r.reduction);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the period sweep as an ASCII table.
+pub fn period_ascii(table: &PeriodTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Migration period sweep — config {}, scheme {}",
+        table.config, table.scheme
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>12} {:>14} {:>10} {:>12}",
+        "blocks", "period (us)", "penalty (%)", "peak (C)", "redn (C)"
+    );
+    for r in &table.rows {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>12.1} {:>14.2} {:>10.2} {:>12.2}",
+            r.period_blocks, r.period_us, r.penalty_pct, r.peak, r.reduction
+        );
+    }
+    out
+}
+
+/// Renders the migration cost table.
+pub fn migration_cost_ascii(rows: &[MigrationCostRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>7} {:>10} {:>11} {:>12} {:>7}",
+        "Scheme", "phases", "stall(us)", "flit-hops", "energy(uJ)", "moves"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>7} {:>10.2} {:>11} {:>12.1} {:>7}",
+            r.scheme.to_string(),
+            r.phases,
+            r.stall_us,
+            r.flit_hops,
+            r.energy_uj,
+            r.moves
+        );
+    }
+    out
+}
+
+/// Renders a per-tile scalar field (temperatures, power) as an ASCII
+/// heatmap, row y=0 at the bottom.
+///
+/// # Panics
+///
+/// Panics if `values.len() != width * height`.
+pub fn heatmap_ascii(values: &[f64], width: usize, height: usize) -> String {
+    assert_eq!(values.len(), width * height, "field size mismatch");
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-9);
+    let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let mut out = String::new();
+    for y in (0..height).rev() {
+        for x in 0..width {
+            let v = values[y * width + x];
+            let idx = (((v - min) / span) * (shades.len() - 1) as f64).round() as usize;
+            let c = shades[idx.min(shades.len() - 1)];
+            let _ = write!(out, "{c}{c}");
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out, "min {min:.2}  max {max:.2}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::ChipConfigId;
+    use crate::cosim::CosimResult;
+    use crate::experiment::Fig1Row;
+
+    fn dummy_result(scheme: MigrationScheme, reduction: f64) -> CosimResult {
+        CosimResult {
+            scheme: Some(scheme),
+            base_peak: 85.44,
+            peak: 85.44 - reduction,
+            reduction,
+            mean_temp: 70.0,
+            base_mean_temp: 69.8,
+            throughput_penalty: 0.016,
+            stall_seconds: 1.7e-6,
+            period_seconds: 109.3e-6,
+            migration_energy_j: 1e-5,
+            phases: 1,
+            migrations: 100,
+        }
+    }
+
+    fn dummy_table() -> Fig1Table {
+        let results: Vec<CosimResult> = MigrationScheme::FIGURE1
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| dummy_result(s, i as f64))
+            .collect();
+        Fig1Table {
+            rows: vec![Fig1Row {
+                config: ChipConfigId::A,
+                base_peak: 85.44,
+                results,
+            }],
+        }
+    }
+
+    #[test]
+    fn fig1_ascii_contains_all_schemes() {
+        let s = fig1_ascii(&dummy_table());
+        for scheme in MigrationScheme::FIGURE1 {
+            assert!(s.contains(&scheme.to_string()), "missing {scheme}");
+        }
+        assert!(s.contains("A (85.44)"));
+        assert!(s.contains("Average"));
+    }
+
+    #[test]
+    fn fig1_csv_shape() {
+        let csv = fig1_csv(&dummy_table());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].split(',').count(), 7);
+        assert!(lines[1].starts_with("A,85.44"));
+    }
+
+    #[test]
+    fn heatmap_renders_grid() {
+        let vals: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let hm = heatmap_ascii(&vals, 4, 4);
+        assert_eq!(hm.lines().count(), 5); // 4 rows + legend
+        assert!(hm.contains("min 0.00"));
+        assert!(hm.contains("max 15.00"));
+        // Hottest row (y=3) renders first.
+        assert!(hm.lines().next().unwrap().contains('@'));
+    }
+
+    #[test]
+    fn average_and_best_scheme() {
+        let t = dummy_table();
+        let avg = t.average_reductions();
+        assert_eq!(avg, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.best_scheme(), MigrationScheme::XYShift);
+    }
+}

@@ -1,0 +1,155 @@
+//! Channel models: BPSK over AWGN, and a binary symmetric channel.
+//!
+//! The paper drives its chips "with an encoded message"; we transmit encoded
+//! blocks over a standard AWGN channel so decoder iteration counts (and thus
+//! PE activity) follow realistic convergence behaviour.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// BPSK-over-AWGN channel producing per-bit log-likelihood ratios.
+///
+/// `snr_db` is Eb/N0 in decibels; the noise variance accounts for the code
+/// rate (`sigma^2 = 1 / (2 * rate * 10^(snr/10))`). LLR convention: positive
+/// means "bit is 0".
+#[derive(Debug, Clone)]
+pub struct AwgnChannel {
+    snr_db: f64,
+    rate: f64,
+    rng: StdRng,
+}
+
+impl AwgnChannel {
+    /// Creates a channel at `snr_db` (Eb/N0) for a code of rate `rate`,
+    /// with a deterministic noise seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `(0, 1]` or `snr_db` is not finite.
+    pub fn new(snr_db: f64, rate: f64, seed: u64) -> Self {
+        assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0, 1]");
+        assert!(snr_db.is_finite(), "snr must be finite");
+        AwgnChannel {
+            snr_db,
+            rate,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Noise standard deviation implied by the SNR and rate.
+    pub fn sigma(&self) -> f64 {
+        let es_n0 = self.rate * 10.0_f64.powf(self.snr_db / 10.0);
+        (1.0 / (2.0 * es_n0)).sqrt()
+    }
+
+    /// Transmits a codeword, returning channel LLRs.
+    pub fn transmit(&mut self, bits: &[bool]) -> Vec<f64> {
+        let sigma = self.sigma();
+        let scale = 2.0 / (sigma * sigma);
+        bits.iter()
+            .map(|&b| {
+                let tx = if b { -1.0 } else { 1.0 };
+                let noise = sigma * self.sample_gaussian();
+                (tx + noise) * scale
+            })
+            .collect()
+    }
+
+    /// Box-Muller standard normal sample.
+    fn sample_gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// Binary symmetric channel producing hard-decision LLRs.
+#[derive(Debug, Clone)]
+pub struct BscChannel {
+    /// Crossover probability.
+    p: f64,
+    rng: StdRng,
+}
+
+impl BscChannel {
+    /// Creates a BSC with crossover probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 0.5`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!(p > 0.0 && p < 0.5, "crossover must be in (0, 0.5)");
+        BscChannel {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Transmits a codeword, returning the channel LLR of each received bit.
+    pub fn transmit(&mut self, bits: &[bool]) -> Vec<f64> {
+        let llr_mag = ((1.0 - self.p) / self.p).ln();
+        bits.iter()
+            .map(|&b| {
+                let flipped = self.rng.gen_bool(self.p);
+                let received = b ^ flipped;
+                if received {
+                    -llr_mag
+                } else {
+                    llr_mag
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_decreases_with_snr() {
+        let lo = AwgnChannel::new(1.0, 0.5, 0).sigma();
+        let hi = AwgnChannel::new(6.0, 0.5, 0).sigma();
+        assert!(hi < lo);
+    }
+
+    #[test]
+    fn high_snr_llrs_match_bits() {
+        let mut ch = AwgnChannel::new(12.0, 0.5, 3);
+        let bits = vec![false, true, true, false, true];
+        let llrs = ch.transmit(&bits);
+        for (b, l) in bits.iter().zip(&llrs) {
+            assert_eq!(*b, *l < 0.0, "sign mismatch at high SNR");
+        }
+    }
+
+    #[test]
+    fn awgn_is_reproducible() {
+        let mut a = AwgnChannel::new(3.0, 0.5, 7);
+        let mut b = AwgnChannel::new(3.0, 0.5, 7);
+        let bits = vec![true; 64];
+        assert_eq!(a.transmit(&bits), b.transmit(&bits));
+    }
+
+    #[test]
+    fn bsc_flip_rate_near_p() {
+        let mut ch = BscChannel::new(0.1, 11);
+        let bits = vec![false; 20_000];
+        let llrs = ch.transmit(&bits);
+        let flips = llrs.iter().filter(|&&l| l < 0.0).count();
+        let rate = flips as f64 / bits.len() as f64;
+        assert!((rate - 0.1).abs() < 0.01, "flip rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in")]
+    fn bad_rate_panics() {
+        AwgnChannel::new(3.0, 0.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "crossover must be in")]
+    fn bad_crossover_panics() {
+        BscChannel::new(0.6, 0);
+    }
+}

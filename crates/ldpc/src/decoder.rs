@@ -1,0 +1,325 @@
+//! Iterative message-passing decoders: normalized min-sum and sum-product.
+//!
+//! Both use a flooding schedule — all variable-to-check messages, then all
+//! check-to-variable messages per iteration — matching the two
+//! communication phases the NoC application model simulates per iteration.
+
+use crate::code::LdpcCode;
+use crate::error::LdpcError;
+use serde::{Deserialize, Serialize};
+
+/// Result of a decoding attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeOutcome {
+    /// Hard-decision bits after the final iteration.
+    pub bits: Vec<bool>,
+    /// `true` if the syndrome reached zero.
+    pub converged: bool,
+    /// Iterations actually executed (1-based; early exit on convergence).
+    pub iterations: usize,
+}
+
+/// Normalized min-sum decoder (the hardware-friendly choice used by
+/// NoC LDPC implementations such as the paper's reference design).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MinSumDecoder {
+    /// Maximum iterations per block.
+    pub max_iters: usize,
+    /// Normalization factor applied to check messages (typically 0.75-0.9).
+    pub alpha: f64,
+}
+
+impl Default for MinSumDecoder {
+    fn default() -> Self {
+        MinSumDecoder {
+            max_iters: 20,
+            alpha: 0.8,
+        }
+    }
+}
+
+impl MinSumDecoder {
+    /// Decodes one block of channel LLRs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llrs.len() != code.n()`; use [`MinSumDecoder::try_decode`]
+    /// for a fallible variant.
+    pub fn decode(&self, code: &LdpcCode, llrs: &[f64]) -> DecodeOutcome {
+        self.try_decode(code, llrs).expect("llr length mismatch")
+    }
+
+    /// Fallible decode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LdpcError::LlrLengthMismatch`] on a wrong-sized input.
+    pub fn try_decode(&self, code: &LdpcCode, llrs: &[f64]) -> Result<DecodeOutcome, LdpcError> {
+        decode_impl(code, llrs, self.max_iters, |inputs, out| {
+            min_sum_check(inputs, out, self.alpha)
+        })
+    }
+}
+
+/// Sum-product (belief propagation) decoder: slightly better waterfall
+/// performance at higher per-edge cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SumProductDecoder {
+    /// Maximum iterations per block.
+    pub max_iters: usize,
+}
+
+impl Default for SumProductDecoder {
+    fn default() -> Self {
+        SumProductDecoder { max_iters: 20 }
+    }
+}
+
+impl SumProductDecoder {
+    /// Decodes one block of channel LLRs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llrs.len() != code.n()`.
+    pub fn decode(&self, code: &LdpcCode, llrs: &[f64]) -> DecodeOutcome {
+        self.try_decode(code, llrs).expect("llr length mismatch")
+    }
+
+    /// Fallible decode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LdpcError::LlrLengthMismatch`] on a wrong-sized input.
+    pub fn try_decode(&self, code: &LdpcCode, llrs: &[f64]) -> Result<DecodeOutcome, LdpcError> {
+        decode_impl(code, llrs, self.max_iters, sum_product_check)
+    }
+}
+
+/// Check-node update, min-sum with normalization: for each output edge, the
+/// magnitude is `alpha * min` of the other inputs and the sign is the product
+/// of the other signs.
+fn min_sum_check(inputs: &[f64], out: &mut [f64], alpha: f64) {
+    let deg = inputs.len();
+    let mut sign_product = 1.0f64;
+    let (mut min1, mut min2) = (f64::INFINITY, f64::INFINITY);
+    let mut min_idx = 0;
+    for (i, &v) in inputs.iter().enumerate() {
+        if v < 0.0 {
+            sign_product = -sign_product;
+        }
+        let mag = v.abs();
+        if mag < min1 {
+            min2 = min1;
+            min1 = mag;
+            min_idx = i;
+        } else if mag < min2 {
+            min2 = mag;
+        }
+    }
+    for i in 0..deg {
+        let mag = if i == min_idx { min2 } else { min1 };
+        let self_sign = if inputs[i] < 0.0 { -1.0 } else { 1.0 };
+        out[i] = alpha * sign_product * self_sign * mag;
+    }
+}
+
+/// Exact sum-product check update via the tanh rule.
+fn sum_product_check(inputs: &[f64], out: &mut [f64]) {
+    // Guard tanh against saturation.
+    let clamp = |x: f64| x.clamp(-30.0, 30.0);
+    let tanhs: Vec<f64> = inputs.iter().map(|&v| (clamp(v) / 2.0).tanh()).collect();
+    for i in 0..inputs.len() {
+        let mut prod = 1.0;
+        for (j, &t) in tanhs.iter().enumerate() {
+            if j != i {
+                prod *= t;
+            }
+        }
+        let prod = prod.clamp(-0.999_999_999, 0.999_999_999);
+        out[i] = 2.0 * prod.atanh();
+    }
+}
+
+fn decode_impl<F>(
+    code: &LdpcCode,
+    llrs: &[f64],
+    max_iters: usize,
+    mut check_update: F,
+) -> Result<DecodeOutcome, LdpcError>
+where
+    F: FnMut(&[f64], &mut [f64]),
+{
+    if llrs.len() != code.n() {
+        return Err(LdpcError::LlrLengthMismatch {
+            expected: code.n(),
+            got: llrs.len(),
+        });
+    }
+    let m = code.m();
+    // Per-edge storage keyed by (check, position-in-row).
+    let mut chk_to_var: Vec<Vec<f64>> = (0..m)
+        .map(|r| vec![0.0; code.h().row(r).len()])
+        .collect();
+    let mut var_to_chk: Vec<Vec<f64>> = chk_to_var.clone();
+    let mut posterior: Vec<f64> = llrs.to_vec();
+    let mut bits: Vec<bool> = llrs.iter().map(|&l| l < 0.0).collect();
+
+    let mut iterations = 0;
+    let mut converged = code.is_codeword(&bits);
+    while !converged && iterations < max_iters {
+        iterations += 1;
+        // Variable-to-check phase: v->c message is posterior minus the
+        // incoming c->v message (extrinsic).
+        for r in 0..m {
+            for (k, &v) in code.h().row(r).iter().enumerate() {
+                var_to_chk[r][k] = posterior[v] - chk_to_var[r][k];
+            }
+        }
+        // Check-to-variable phase.
+        let mut scratch = Vec::new();
+        for r in 0..m {
+            scratch.clear();
+            scratch.extend_from_slice(&var_to_chk[r]);
+            check_update(&scratch, &mut chk_to_var[r]);
+        }
+        // Posterior accumulation.
+        posterior.copy_from_slice(llrs);
+        for r in 0..m {
+            for (k, &v) in code.h().row(r).iter().enumerate() {
+                posterior[v] += chk_to_var[r][k];
+            }
+        }
+        for (b, &p) in bits.iter_mut().zip(&posterior) {
+            *b = p < 0.0;
+        }
+        converged = code.is_codeword(&bits);
+    }
+
+    Ok(DecodeOutcome {
+        bits,
+        converged,
+        iterations: iterations.max(1),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::AwgnChannel;
+    use crate::encoder::Encoder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn code() -> LdpcCode {
+        LdpcCode::gallager(240, 3, 6, 5).unwrap()
+    }
+
+    #[test]
+    fn clean_codeword_converges_immediately() {
+        let c = code();
+        let llrs: Vec<f64> = vec![8.0; c.n()]; // strong "all zeros"
+        let out = MinSumDecoder::default().decode(&c, &llrs);
+        assert!(out.converged);
+        assert_eq!(out.iterations, 1);
+        assert!(out.bits.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn min_sum_corrects_awgn_noise_at_moderate_snr() {
+        let c = code();
+        let enc = Encoder::new(&c).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut chan = AwgnChannel::new(3.5, c.rate(), 77);
+        let dec = MinSumDecoder::default();
+        let mut successes = 0;
+        let trials = 20;
+        for _ in 0..trials {
+            let msg: Vec<bool> = (0..enc.k()).map(|_| rng.gen()).collect();
+            let word = enc.encode(&msg).unwrap();
+            let llrs = chan.transmit(&word);
+            let out = dec.decode(&c, &llrs);
+            if out.converged && out.bits == word {
+                successes += 1;
+            }
+        }
+        assert!(successes >= trials * 8 / 10, "only {successes}/{trials} decoded");
+    }
+
+    #[test]
+    fn sum_product_at_least_as_good_as_min_sum() {
+        let c = code();
+        let enc = Encoder::new(&c).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut chan_a = AwgnChannel::new(3.0, c.rate(), 5);
+        let mut chan_b = AwgnChannel::new(3.0, c.rate(), 5);
+        let (mut ms_ok, mut sp_ok) = (0, 0);
+        for _ in 0..15 {
+            let msg: Vec<bool> = (0..enc.k()).map(|_| rng.gen()).collect();
+            let word = enc.encode(&msg).unwrap();
+            let la = chan_a.transmit(&word);
+            let lb = chan_b.transmit(&word);
+            assert_eq!(la, lb);
+            if MinSumDecoder::default().decode(&c, &la).converged {
+                ms_ok += 1;
+            }
+            if SumProductDecoder::default().decode(&c, &lb).converged {
+                sp_ok += 1;
+            }
+        }
+        assert!(sp_ok + 2 >= ms_ok, "sum-product unexpectedly weak: {sp_ok} vs {ms_ok}");
+    }
+
+    #[test]
+    fn hopeless_noise_fails_gracefully() {
+        let c = code();
+        let mut rng = StdRng::seed_from_u64(6);
+        let llrs: Vec<f64> = (0..c.n()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let dec = MinSumDecoder {
+            max_iters: 5,
+            alpha: 0.8,
+        };
+        let out = dec.decode(&c, &llrs);
+        assert_eq!(out.iterations, 5);
+        assert!(!out.converged || c.is_codeword(&out.bits));
+    }
+
+    #[test]
+    fn iteration_count_increases_with_noise() {
+        let c = code();
+        let enc = Encoder::new(&c).unwrap();
+        let msg = vec![true; enc.k()];
+        let word = enc.encode(&msg).unwrap();
+        let clean = AwgnChannel::new(8.0, c.rate(), 9).transmit(&word);
+        let noisy = AwgnChannel::new(2.5, c.rate(), 9).transmit(&word);
+        let dec = MinSumDecoder::default();
+        let fast = dec.decode(&c, &clean);
+        let slow = dec.decode(&c, &noisy);
+        assert!(fast.converged);
+        assert!(
+            slow.iterations >= fast.iterations,
+            "noisy {} < clean {}",
+            slow.iterations,
+            fast.iterations
+        );
+    }
+
+    #[test]
+    fn wrong_llr_length_rejected() {
+        let c = code();
+        assert!(matches!(
+            MinSumDecoder::default().try_decode(&c, &[1.0]),
+            Err(LdpcError::LlrLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn min_sum_check_magnitudes() {
+        let inputs = [3.0, -1.0, 2.0];
+        let mut out = [0.0; 3];
+        min_sum_check(&inputs, &mut out, 1.0);
+        // Output magnitude = min of other inputs; sign = product of others.
+        assert_eq!(out[0], -1.0); // min(1,2)=1, signs: -*+ = -
+        assert_eq!(out[1], 2.0); // min(3,2)=2, signs: +*+ = +
+        assert_eq!(out[2], -1.0);
+    }
+}

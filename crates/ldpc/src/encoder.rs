@@ -1,0 +1,231 @@
+//! Systematic LDPC encoding via GF(2) Gaussian elimination.
+//!
+//! The parity-check matrix is reduced to row echelon form once; encoding a
+//! message then assigns the message bits to the non-pivot (free) columns and
+//! back-solves the pivot columns so that every check is satisfied.
+
+use crate::code::LdpcCode;
+use crate::error::LdpcError;
+
+/// Dense GF(2) row as a bitset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BitRow {
+    words: Vec<u64>,
+}
+
+impl BitRow {
+    fn zero(nbits: usize) -> Self {
+        BitRow {
+            words: vec![0; nbits.div_ceil(64)],
+        }
+    }
+
+    fn get(&self, i: usize) -> bool {
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    fn xor_assign(&mut self, other: &BitRow) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+}
+
+/// A prepared systematic encoder for one [`LdpcCode`].
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    n: usize,
+    /// Reduced rows, one per pivot, in pivot order.
+    rows: Vec<BitRow>,
+    /// Pivot column of each reduced row.
+    pivots: Vec<usize>,
+    /// Non-pivot (message) columns in ascending order.
+    free_cols: Vec<usize>,
+}
+
+impl Encoder {
+    /// Builds the encoder (one-time Gaussian elimination over GF(2)).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for valid codes; returns `Result` for future
+    /// constructions that may fail (kept for API stability).
+    pub fn new(code: &LdpcCode) -> Result<Self, LdpcError> {
+        let n = code.n();
+        let m = code.m();
+        let mut rows: Vec<BitRow> = (0..m)
+            .map(|r| {
+                let mut row = BitRow::zero(n);
+                for &c in code.h().row(r) {
+                    row.set(c);
+                }
+                row
+            })
+            .collect();
+
+        let mut pivots = Vec::new();
+        let mut next_row = 0usize;
+        for col in 0..n {
+            // Find a row at or below `next_row` with a one in `col`.
+            let Some(found) = (next_row..rows.len()).find(|&r| rows[r].get(col)) else {
+                continue;
+            };
+            rows.swap(next_row, found);
+            // Eliminate this column from every other row (RREF).
+            let pivot_row = rows[next_row].clone();
+            for (r, row) in rows.iter_mut().enumerate() {
+                if r != next_row && row.get(col) {
+                    row.xor_assign(&pivot_row);
+                }
+            }
+            pivots.push(col);
+            next_row += 1;
+            if next_row == rows.len() {
+                break;
+            }
+        }
+        // Rows 0..rank are now fully reduced: each contains exactly one
+        // pivot column (its own), so back-substitution is a plain XOR of
+        // free-column bits.
+        let reduced: Vec<BitRow> = rows[..pivots.len()].to_vec();
+
+        let pivot_set: std::collections::HashSet<usize> = pivots.iter().copied().collect();
+        let free_cols: Vec<usize> = (0..n).filter(|c| !pivot_set.contains(c)).collect();
+        Ok(Encoder {
+            n,
+            rows: reduced,
+            pivots,
+            free_cols,
+        })
+    }
+
+    /// The code dimension: number of message bits per block.
+    pub fn k(&self) -> usize {
+        self.free_cols.len()
+    }
+
+    /// The GF(2) rank of the parity-check matrix.
+    pub fn rank(&self) -> usize {
+        self.pivots.len()
+    }
+
+    /// Block length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Encodes `message` (length [`Encoder::k`]) into a codeword of length
+    /// [`Encoder::n`] satisfying every parity check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LdpcError::MessageLengthMismatch`] on a wrong-sized input.
+    pub fn encode(&self, message: &[bool]) -> Result<Vec<bool>, LdpcError> {
+        if message.len() != self.k() {
+            return Err(LdpcError::MessageLengthMismatch {
+                expected: self.k(),
+                got: message.len(),
+            });
+        }
+        let mut word = vec![false; self.n];
+        for (&col, &bit) in self.free_cols.iter().zip(message) {
+            word[col] = bit;
+        }
+        // Each reduced row has exactly one pivot; in RREF the pivot bit is
+        // the XOR of the row's free-column bits.
+        for (row, &pivot) in self.rows.iter().zip(&self.pivots) {
+            let mut acc = false;
+            for &col in &self.free_cols {
+                if row.get(col) && word[col] {
+                    acc = !acc;
+                }
+            }
+            word[pivot] = acc;
+        }
+        Ok(word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn code() -> LdpcCode {
+        LdpcCode::gallager(120, 3, 6, 5).unwrap()
+    }
+
+    #[test]
+    fn rank_and_dimension_consistent() {
+        let c = code();
+        let enc = Encoder::new(&c).unwrap();
+        assert_eq!(enc.rank() + enc.k(), c.n());
+        // Gallager codes have a few dependent rows; rank <= m.
+        assert!(enc.rank() <= c.m());
+        assert!(enc.k() >= c.n() - c.m());
+    }
+
+    #[test]
+    fn all_zero_message_encodes_to_zero() {
+        let c = code();
+        let enc = Encoder::new(&c).unwrap();
+        let w = enc.encode(&vec![false; enc.k()]).unwrap();
+        assert!(w.iter().all(|&b| !b));
+        assert!(c.is_codeword(&w));
+    }
+
+    #[test]
+    fn random_messages_encode_to_codewords() {
+        let c = code();
+        let enc = Encoder::new(&c).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..25 {
+            let msg: Vec<bool> = (0..enc.k()).map(|_| rng.gen()).collect();
+            let w = enc.encode(&msg).unwrap();
+            assert!(c.is_codeword(&w), "encoder produced a non-codeword");
+        }
+    }
+
+    #[test]
+    fn encoding_is_linear() {
+        let c = code();
+        let enc = Encoder::new(&c).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let a: Vec<bool> = (0..enc.k()).map(|_| rng.gen()).collect();
+        let b: Vec<bool> = (0..enc.k()).map(|_| rng.gen()).collect();
+        let ab: Vec<bool> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+        let wa = enc.encode(&a).unwrap();
+        let wb = enc.encode(&b).unwrap();
+        let wab = enc.encode(&ab).unwrap();
+        for i in 0..c.n() {
+            assert_eq!(wab[i], wa[i] ^ wb[i], "nonlinear at bit {i}");
+        }
+    }
+
+    #[test]
+    fn message_bits_recoverable_from_codeword() {
+        // Systematic in the free columns.
+        let c = code();
+        let enc = Encoder::new(&c).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let msg: Vec<bool> = (0..enc.k()).map(|_| rng.gen()).collect();
+        let w = enc.encode(&msg).unwrap();
+        let recovered: Vec<bool> = enc.free_cols.iter().map(|&col| w[col]).collect();
+        assert_eq!(recovered, msg);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let c = code();
+        let enc = Encoder::new(&c).unwrap();
+        assert!(matches!(
+            enc.encode(&[true]),
+            Err(LdpcError::MessageLengthMismatch { .. })
+        ));
+    }
+}

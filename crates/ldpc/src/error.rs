@@ -1,0 +1,84 @@
+//! Error types for the LDPC crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by LDPC construction, encoding and mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LdpcError {
+    /// Regular-code parameters are inconsistent (`n * wc` must equal
+    /// `m * wr` with integral `m`).
+    InvalidCodeParams {
+        /// Block length requested.
+        n: usize,
+        /// Column (variable) weight.
+        wc: usize,
+        /// Row (check) weight.
+        wr: usize,
+    },
+    /// The message length does not match the code dimension.
+    MessageLengthMismatch {
+        /// Expected message bits.
+        expected: usize,
+        /// Provided message bits.
+        got: usize,
+    },
+    /// The LLR vector length does not match the block length.
+    LlrLengthMismatch {
+        /// Expected LLRs.
+        expected: usize,
+        /// Provided LLRs.
+        got: usize,
+    },
+    /// A cluster count that cannot partition the code (zero or more
+    /// clusters than nodes).
+    InvalidClusterCount {
+        /// Requested clusters.
+        clusters: usize,
+    },
+    /// Weighted mapping weights are invalid (wrong length, negative or all
+    /// zero).
+    InvalidWeights,
+}
+
+impl fmt::Display for LdpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LdpcError::InvalidCodeParams { n, wc, wr } => {
+                write!(f, "invalid regular code parameters n={n}, wc={wc}, wr={wr}")
+            }
+            LdpcError::MessageLengthMismatch { expected, got } => {
+                write!(f, "message has {got} bits, code dimension is {expected}")
+            }
+            LdpcError::LlrLengthMismatch { expected, got } => {
+                write!(f, "llr vector has {got} entries, block length is {expected}")
+            }
+            LdpcError::InvalidClusterCount { clusters } => {
+                write!(f, "cannot partition code into {clusters} clusters")
+            }
+            LdpcError::InvalidWeights => write!(f, "cluster weights are invalid"),
+        }
+    }
+}
+
+impl Error for LdpcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            LdpcError::InvalidCodeParams { n: 10, wc: 3, wr: 7 },
+            LdpcError::MessageLengthMismatch { expected: 5, got: 4 },
+            LdpcError::LlrLengthMismatch { expected: 8, got: 2 },
+            LdpcError::InvalidClusterCount { clusters: 0 },
+            LdpcError::InvalidWeights,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # hotnoc-ldpc — the LDPC decoder workload
+//!
+//! The DATE'05 paper evaluates runtime reconfiguration on a Low Density
+//! Parity Check (LDPC) decoder implemented on a NoC (Theocharides et al.,
+//! ISVLSI'05). This crate builds that workload from scratch:
+//!
+//! * [`matrix`]/[`code`] — sparse GF(2) parity-check matrices and regular
+//!   Gallager code construction,
+//! * [`encoder`] — systematic encoding via GF(2) Gaussian elimination,
+//! * [`channel`] — BPSK over AWGN (and BSC) producing soft LLRs,
+//! * [`decoder`] — normalized min-sum and sum-product iterative decoders,
+//! * [`mapping`] — partitioning of variable/check nodes into per-PE
+//!   clusters, including the weighted partitions that realize the paper's
+//!   configurations A–E ("the amount of computation mapped to a single PE"),
+//! * [`schedule`] — the per-iteration message-passing traffic a mapping
+//!   induces between PEs,
+//! * [`app`] — a timing/activity-accurate application model that drives the
+//!   `hotnoc-noc` cycle-accurate simulator with that traffic and reports
+//!   switching activity per tile.
+//!
+//! ```
+//! use hotnoc_ldpc::{code::LdpcCode, channel::AwgnChannel, decoder::MinSumDecoder};
+//!
+//! let code = LdpcCode::gallager(240, 3, 6, 7)?;
+//! let zero = vec![false; code.n()];
+//! let mut chan = AwgnChannel::new(4.0, code.rate(), 42);
+//! let llrs = chan.transmit(&zero);
+//! let out = MinSumDecoder::default().decode(&code, &llrs);
+//! assert!(out.converged, "high-SNR decode should converge");
+//! assert_eq!(out.bits, zero);
+//! # Ok::<(), hotnoc_ldpc::LdpcError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod ber;
+pub mod channel;
+pub mod code;
+pub mod decoder;
+pub mod encoder;
+pub mod error;
+pub mod layered;
+pub mod mapping;
+pub mod matrix;
+pub mod schedule;
+
+pub use code::LdpcCode;
+pub use decoder::{DecodeOutcome, MinSumDecoder, SumProductDecoder};
+pub use encoder::Encoder;
+pub use error::LdpcError;
+pub use layered::LayeredMinSumDecoder;
+pub use mapping::ClusterMapping;

@@ -1,0 +1,118 @@
+//! Chip I/O boundary with transparent address transformation.
+//!
+//! §2.3 of the paper: *"the simplicity and predictability of the migration
+//! functions ... allows for a simplified I/O interface to the outside of the
+//! chip, by transforming the destination address assigned to all incoming
+//! packets and transforming the source address of all packets leaving the
+//! chip. By including a migration unit at the I/O interface, the migration
+//! operation is totally transparent to the outside world."*
+//!
+//! [`AddressMap`] is that migration unit's interface: the network applies
+//! `logical_to_physical` to the destination of every externally injected
+//! packet, and `physical_to_logical` to the source of every packet handed to
+//! the outside. The `hotnoc-reconfig` crate provides the implementation that
+//! tracks the cumulative migration state.
+
+use crate::topology::Coord;
+use std::fmt::Debug;
+
+/// Bidirectional mapping between logical workload positions (what the outside
+/// world addresses) and physical tile positions (where the workload currently
+/// executes).
+///
+/// Implementations must be bijections on the mesh: every logical coordinate
+/// maps to exactly one physical coordinate and back.
+pub trait AddressMap: Debug + Send + Sync {
+    /// Where the workload logically at `logical` currently physically lives.
+    fn logical_to_physical(&self, logical: Coord) -> Coord;
+
+    /// Which logical workload currently lives at physical tile `physical`.
+    fn physical_to_logical(&self, physical: Coord) -> Coord;
+}
+
+/// The identity mapping: the chip has never migrated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdentityMap;
+
+impl AddressMap for IdentityMap {
+    fn logical_to_physical(&self, logical: Coord) -> Coord {
+        logical
+    }
+
+    fn physical_to_logical(&self, physical: Coord) -> Coord {
+        physical
+    }
+}
+
+/// Checks the bijection property of an [`AddressMap`] over a mesh, returning
+/// the first violating coordinate if any. Useful for validating custom maps
+/// in tests and debug assertions.
+pub fn check_bijection<M: AddressMap + ?Sized>(
+    map: &M,
+    mesh: crate::topology::Mesh,
+) -> Option<Coord> {
+    let mut seen = vec![false; mesh.len()];
+    for c in mesh.iter_coords() {
+        let p = map.logical_to_physical(c);
+        if !mesh.contains(p) {
+            return Some(c);
+        }
+        let idx = mesh.node_id(p).expect("checked contains").index();
+        if seen[idx] {
+            return Some(c);
+        }
+        seen[idx] = true;
+        if map.physical_to_logical(p) != c {
+            return Some(c);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Mesh;
+
+    #[test]
+    fn identity_is_bijective() {
+        let mesh = Mesh::square(5).unwrap();
+        assert_eq!(check_bijection(&IdentityMap, mesh), None);
+    }
+
+    #[derive(Debug)]
+    struct Broken;
+
+    impl AddressMap for Broken {
+        fn logical_to_physical(&self, _logical: Coord) -> Coord {
+            Coord::new(0, 0)
+        }
+        fn physical_to_logical(&self, physical: Coord) -> Coord {
+            physical
+        }
+    }
+
+    #[test]
+    fn broken_map_detected() {
+        let mesh = Mesh::square(3).unwrap();
+        assert!(check_bijection(&Broken, mesh).is_some());
+    }
+
+    #[derive(Debug)]
+    struct OffMesh;
+
+    impl AddressMap for OffMesh {
+        fn logical_to_physical(&self, logical: Coord) -> Coord {
+            Coord::new(logical.x + 100, logical.y)
+        }
+        fn physical_to_logical(&self, physical: Coord) -> Coord {
+            physical
+        }
+    }
+
+    #[test]
+    fn off_mesh_map_detected() {
+        let mesh = Mesh::square(3).unwrap();
+        assert_eq!(check_bijection(&OffMesh, mesh), Some(Coord::new(0, 0)));
+    }
+}

@@ -1,0 +1,58 @@
+//! # hotnoc-noc — cycle-accurate 2-D mesh network-on-chip simulator
+//!
+//! This crate implements the "modified cycle-accurate NoC simulator" that the
+//! DATE'05 paper *Hotspot Prevention Through Runtime Reconfiguration in
+//! Network-On-Chip* (Link & Vijaykrishnan) uses to obtain per-component
+//! switching rates. It models:
+//!
+//! * a 2-D mesh [`topology::Mesh`] of input-buffered wormhole routers with
+//!   virtual channels and credit-based flow control ([`router`], [`network`]),
+//! * dimension-order ([`routing::XyRouting`], [`routing::YxRouting`]) and
+//!   partially-adaptive turn-model ([`routing::WestFirstRouting`]) routing,
+//! * network interfaces ([`nic`]) that packetize and reassemble messages,
+//! * per-component switching-activity counters and latency histograms
+//!   ([`stats`]) that feed the `hotnoc-power` model,
+//! * synthetic traffic patterns ([`traffic`]) for validation and benchmarks,
+//! * a chip I/O boundary with transparent address transformation hooks
+//!   ([`io_interface`]), the mechanism §2.3 of the paper uses to hide
+//!   migration from the outside world.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use hotnoc_noc::{Mesh, Network, NocConfig, Packet, PacketClass};
+//!
+//! let mesh = Mesh::square(4).unwrap();
+//! let mut net = Network::new(mesh, NocConfig::default());
+//! let src = mesh.node_id_at(0, 0).unwrap();
+//! let dst = mesh.node_id_at(3, 3).unwrap();
+//! let packet = Packet::new(0, src, dst, PacketClass::Data, 4);
+//! net.inject(packet).unwrap();
+//! let delivered = net.run_until_idle(10_000).unwrap();
+//! assert_eq!(delivered, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod flit;
+pub mod io_interface;
+pub mod network;
+pub mod nic;
+pub mod router;
+pub mod routing;
+pub mod stats;
+pub mod topology;
+pub mod traffic;
+
+pub use config::NocConfig;
+pub use error::NocError;
+pub use flit::{Flit, FlitKind, Packet, PacketClass, PacketId};
+pub use io_interface::{AddressMap, IdentityMap};
+pub use network::{DeliveredPacket, Network};
+pub use routing::{Routing, RoutingKind, WestFirstRouting, XyRouting, YxRouting};
+pub use stats::{ActivitySnapshot, LatencyHistogram, NetworkStats, RouterActivity};
+pub use topology::{Coord, Direction, Mesh, NodeId};
+pub use traffic::{TrafficGenerator, TrafficPattern};

@@ -1,0 +1,739 @@
+//! The cycle-accurate network: routers, links and NICs stepped in lockstep.
+
+use crate::config::NocConfig;
+use crate::error::NocError;
+use crate::flit::{Flit, Packet, PacketClass, PacketId};
+use crate::io_interface::AddressMap;
+use crate::nic::Nic;
+use crate::router::{Router, VcState};
+use crate::routing::{Routing, RoutingKind};
+use crate::stats::{ActivitySnapshot, NetworkStats};
+use crate::topology::{Coord, Direction, Mesh, NodeId};
+use std::collections::VecDeque;
+
+/// A packet delivery record handed to the application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveredPacket {
+    /// Id of the delivered packet.
+    pub packet_id: PacketId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Traffic class.
+    pub class: PacketClass,
+    /// Cycle the packet was injected.
+    pub inject_cycle: u64,
+    /// Cycle the tail flit was ejected.
+    pub eject_cycle: u64,
+}
+
+impl DeliveredPacket {
+    /// End-to-end latency in cycles (inclusive of the ejection cycle).
+    pub fn latency(&self) -> u64 {
+        self.eject_cycle - self.inject_cycle + 1
+    }
+}
+
+/// Credit returned to an upstream router, queued during a cycle and applied
+/// after all routers have been stepped.
+struct CreditEvent {
+    router: usize,
+    out_port: usize,
+    vc: u8,
+    at: u64,
+}
+
+/// The simulated network-on-chip.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+pub struct Network {
+    cfg: NocConfig,
+    mesh: Mesh,
+    routing: RoutingKind,
+    routers: Vec<Router>,
+    /// Outgoing link queue per router per mesh direction: flits in flight
+    /// with their arrival cycle at the downstream router.
+    links: Vec<[VecDeque<(Flit, u64)>; 4]>,
+    nics: Vec<Nic>,
+    delivered: Vec<Vec<DeliveredPacket>>,
+    cycle: u64,
+    stats: NetworkStats,
+    address_map: Option<Box<dyn AddressMap>>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("mesh", &self.mesh)
+            .field("cycle", &self.cycle)
+            .field("in_flight", &self.in_flight())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Network {
+    /// Creates an idle network over `mesh` with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`NocConfig::validate`]; use
+    /// [`Network::try_new`] for fallible construction.
+    pub fn new(mesh: Mesh, cfg: NocConfig) -> Self {
+        Network::try_new(mesh, cfg, RoutingKind::Xy).expect("invalid NocConfig")
+    }
+
+    /// Fallible constructor with an explicit routing algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidConfig`] if the configuration is invalid.
+    pub fn try_new(mesh: Mesh, cfg: NocConfig, routing: RoutingKind) -> Result<Self, NocError> {
+        cfg.validate()?;
+        let n = mesh.len();
+        let routers = mesh.iter_coords().map(|c| Router::new(c, &cfg)).collect();
+        Ok(Network {
+            cfg,
+            mesh,
+            routing,
+            routers,
+            links: (0..n).map(|_| std::array::from_fn(|_| VecDeque::new())).collect(),
+            nics: (0..n).map(|_| Nic::default()).collect(),
+            delivered: (0..n).map(|_| Vec::new()).collect(),
+            cycle: 0,
+            stats: NetworkStats::default(),
+            address_map: None,
+        })
+    }
+
+    /// The mesh this network simulates.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// Current simulation cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Installs the I/O-boundary address map used by
+    /// [`Network::inject_external`] (§2.3 of the paper). Passing the map by
+    /// box allows the reconfiguration controller to own a shared handle.
+    pub fn set_address_map(&mut self, map: Box<dyn AddressMap>) {
+        self.address_map = Some(map);
+    }
+
+    /// Removes the I/O address map (reverting to identity behaviour).
+    pub fn clear_address_map(&mut self) -> Option<Box<dyn AddressMap>> {
+        self.address_map.take()
+    }
+
+    /// Injects a packet at its source NIC.
+    ///
+    /// # Errors
+    ///
+    /// * [`NocError::EmptyPacket`] if `len_flits == 0`.
+    /// * [`NocError::CoordOutOfBounds`] if src or dst are outside the mesh.
+    pub fn inject(&mut self, packet: Packet) -> Result<(), NocError> {
+        if packet.len_flits == 0 {
+            return Err(NocError::EmptyPacket);
+        }
+        for node in [packet.src, packet.dst] {
+            if node.index() >= self.mesh.len() {
+                return Err(NocError::CoordOutOfBounds {
+                    coord: Coord::new(u8::MAX, u8::MAX),
+                    width: self.mesh.width() as u8,
+                    height: self.mesh.height() as u8,
+                });
+            }
+        }
+        self.nics[packet.src.index()].enqueue(&packet, self.cfg.num_vcs, self.cycle);
+        self.stats.packets_injected += 1;
+        self.stats.flits_injected += packet.len_flits as u64;
+        Ok(())
+    }
+
+    /// Injects a packet arriving from outside the chip: the destination is
+    /// first translated from logical to physical coordinates by the
+    /// installed [`AddressMap`], making migration transparent to the sender.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::inject`].
+    pub fn inject_external(&mut self, mut packet: Packet) -> Result<(), NocError> {
+        if let Some(map) = &self.address_map {
+            let logical = self.mesh.coord(packet.dst);
+            let physical = map.logical_to_physical(logical);
+            packet.dst = self.mesh.node_id(physical)?;
+        }
+        self.inject(packet)
+    }
+
+    /// Translates a delivered packet's source back to logical coordinates,
+    /// as the I/O interface does for packets leaving the chip.
+    pub fn externalize(&self, delivered: DeliveredPacket) -> DeliveredPacket {
+        match &self.address_map {
+            None => delivered,
+            Some(map) => {
+                let physical = self.mesh.coord(delivered.src);
+                let logical = map.physical_to_logical(physical);
+                DeliveredPacket {
+                    src: self.mesh.node_id(logical).expect("address map is a bijection"),
+                    ..delivered
+                }
+            }
+        }
+    }
+
+    /// Packets delivered at `node` since the last drain.
+    pub fn drain_delivered(&mut self, node: NodeId) -> Vec<DeliveredPacket> {
+        std::mem::take(&mut self.delivered[node.index()])
+    }
+
+    /// All packets delivered anywhere since the last drain, in delivery
+    /// order per node.
+    pub fn drain_all_delivered(&mut self) -> Vec<DeliveredPacket> {
+        let mut out = Vec::new();
+        for v in &mut self.delivered {
+            out.append(v);
+        }
+        out
+    }
+
+    /// Flits currently inside the network (buffers + links + NIC queues).
+    pub fn in_flight(&self) -> u64 {
+        let buffered: usize = self.routers.iter().map(Router::buffered_flits).sum();
+        let on_links: usize = self
+            .links
+            .iter()
+            .flat_map(|l| l.iter())
+            .map(VecDeque::len)
+            .sum();
+        let queued: usize = self.nics.iter().map(Nic::pending_flits).sum();
+        (buffered + on_links + queued) as u64
+    }
+
+    /// Advances the simulation by one clock cycle.
+    pub fn step(&mut self) {
+        let now = self.cycle;
+        let n = self.mesh.len();
+
+        // 1. Land credits that were in flight back to upstream routers.
+        for router in &mut self.routers {
+            router.land_credits(now);
+        }
+
+        // 2. Link arrivals: move flits that completed link traversal into
+        //    the downstream router's input buffers.
+        for r in 0..n {
+            let coord = self.mesh.coord(NodeId::new(r as u16));
+            for dir in Direction::MESH {
+                let Some(nb) = self.mesh.neighbor(coord, dir) else {
+                    debug_assert!(self.links[r][dir.index()].is_empty());
+                    continue;
+                };
+                let nb_id = self.mesh.node_id(nb).expect("neighbor inside mesh").index();
+                while let Some(&(flit, at)) = self.links[r][dir.index()].front() {
+                    if at > now {
+                        break;
+                    }
+                    self.links[r][dir.index()].pop_front();
+                    self.routers[nb_id].accept_flit(dir.opposite(), flit, self.cfg.buffer_depth);
+                }
+            }
+        }
+
+        // 3. NIC injection: one flit per node per cycle into the local port,
+        //    space permitting.
+        for r in 0..n {
+            let nic = &mut self.nics[r];
+            let Some(&flit) = nic.inject_queue.front() else {
+                continue;
+            };
+            let router = &mut self.routers[r];
+            let local = Direction::Local.index();
+            let vc_buf_len = router.inputs[local].vcs[flit.vc as usize].buf.len();
+            if vc_buf_len < self.cfg.buffer_depth as usize {
+                nic.inject_queue.pop_front();
+                nic.flits_injected += 1;
+                router.accept_flit(Direction::Local, flit, self.cfg.buffer_depth);
+            }
+        }
+
+        // 4. Route computation + switch allocation + traversal.
+        let mut credit_events: Vec<CreditEvent> = Vec::new();
+        for r in 0..n {
+            let coord = self.mesh.coord(NodeId::new(r as u16));
+            let num_vcs = self.cfg.num_vcs as usize;
+            let router = &mut self.routers[r];
+
+            // Route computation for head flits at the front of idle VCs.
+            for port in 0..5 {
+                for vc in 0..num_vcs {
+                    let ivc = &mut router.inputs[port].vcs[vc];
+                    if !matches!(ivc.state, VcState::Idle) {
+                        continue;
+                    }
+                    let Some(front) = ivc.buf.front() else { continue };
+                    if front.is_head() {
+                        let dst = self.mesh.coord(front.dst);
+                        let out_dir = self.routing.next_hop(coord, dst);
+                        ivc.state = VcState::Active {
+                            out_dir,
+                            flits_left: front.len,
+                        };
+                        router.activity.routes_computed += 1;
+                    }
+                }
+            }
+
+            // Switch allocation: at most one flit per output port and one
+            // per input port each cycle, round-robin among requesters.
+            let mut input_used = [false; 5];
+            for out_dir in Direction::ALL {
+                let d = out_dir.index();
+                let slots = 5 * num_vcs;
+                let start = router.outputs[d].rr_ptr % slots;
+                let mut winner: Option<(usize, usize)> = None;
+                for k in 0..slots {
+                    let slot = (start + k) % slots;
+                    let (port, vc) = (slot / num_vcs, slot % num_vcs);
+                    if input_used[port] {
+                        continue;
+                    }
+                    let ivc = &router.inputs[port].vcs[vc];
+                    let VcState::Active { out_dir: od, .. } = ivc.state else {
+                        continue;
+                    };
+                    if od != out_dir || ivc.buf.is_empty() {
+                        continue;
+                    }
+                    // Wormhole VC allocation: only the owning input VC may
+                    // send on an allocated outbound channel, and a free
+                    // channel can only be claimed by a head flit.
+                    let front = ivc.buf.front().expect("non-empty checked above");
+                    match router.outputs[d].vc_owner[vc] {
+                        None => {
+                            if !front.is_head() {
+                                continue;
+                            }
+                        }
+                        Some(owner) => {
+                            if owner != (port as u8, vc as u8) {
+                                continue;
+                            }
+                        }
+                    }
+                    // Body/tail flits may only move while credits (or the
+                    // ejection port) allow.
+                    if out_dir != Direction::Local && router.outputs[d].credits[vc] == 0 {
+                        continue;
+                    }
+                    winner = Some((port, vc));
+                    break;
+                }
+                let Some((port, vc)) = winner else { continue };
+                input_used[port] = true;
+                router.outputs[d].rr_ptr = (port * num_vcs + vc + 1) % slots;
+                router.activity.arbitrations += 1;
+
+                let ivc = &mut router.inputs[port].vcs[vc];
+                let flit = ivc.buf.pop_front().expect("winner has a flit");
+                // Acquire/release the outbound wormhole channel.
+                router.outputs[d].vc_owner[vc] = if flit.is_tail() {
+                    None
+                } else if flit.is_head() {
+                    Some((port as u8, vc as u8))
+                } else {
+                    router.outputs[d].vc_owner[vc]
+                };
+                let ivc = &mut router.inputs[port].vcs[vc];
+                match &mut ivc.state {
+                    VcState::Active { flits_left, .. } => {
+                        *flits_left -= 1;
+                        if *flits_left == 0 {
+                            ivc.state = VcState::Idle;
+                        }
+                    }
+                    VcState::Idle => unreachable!("winner VC must be active"),
+                }
+                router.activity.buffer_reads += 1;
+                router.activity.xbar_traversals += 1;
+                let out = &mut router.outputs[d];
+                router.activity.bit_transitions +=
+                    (out.last_payload ^ flit.payload).count_ones() as u64;
+                out.last_payload = flit.payload;
+                router.activity.link_flits[d] += 1;
+
+                // Return a credit to whoever fed this input buffer.
+                if port != Direction::Local.index() {
+                    let in_dir = Direction::ALL[port];
+                    let upstream = self
+                        .mesh
+                        .neighbor(coord, in_dir)
+                        .expect("flit arrived from a mesh neighbor");
+                    let upstream_id =
+                        self.mesh.node_id(upstream).expect("neighbor inside mesh").index();
+                    credit_events.push(CreditEvent {
+                        router: upstream_id,
+                        out_port: in_dir.opposite().index(),
+                        vc: flit.vc,
+                        at: now + 1,
+                    });
+                }
+
+                if out_dir == Direction::Local {
+                    // Ejection: hand to the NIC; completed packets go to the
+                    // application pickup queue.
+                    let nic = &mut self.nics[r];
+                    if let Some((packet, at)) = nic.eject(flit, now) {
+                        let record = DeliveredPacket {
+                            packet_id: packet.id,
+                            src: packet.src,
+                            dst: packet.dst,
+                            class: packet.class,
+                            inject_cycle: flit.inject_cycle,
+                            eject_cycle: at,
+                        };
+                        self.stats.packets_delivered += 1;
+                        let lat = record.latency();
+                        self.stats.total_packet_latency += lat;
+                        self.stats.max_packet_latency = self.stats.max_packet_latency.max(lat);
+                        self.stats.latency_histogram.record(lat);
+                        self.delivered[r].push(record);
+                    }
+                    self.stats.flits_ejected += 1;
+                } else {
+                    router.outputs[d].credits[vc] -= 1;
+                    self.links[r][d].push_back((flit, now + self.cfg.link_latency as u64));
+                    self.stats.flit_hops += 1;
+                }
+            }
+        }
+
+        for ev in credit_events {
+            self.routers[ev.router].outputs[ev.out_port]
+                .credit_queue
+                .push_back((ev.vc, ev.at));
+        }
+
+        self.cycle += 1;
+    }
+
+    /// Runs for exactly `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Runs until no flits remain in flight, returning the number of packets
+    /// delivered during the drain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::Timeout`] if the network has not drained after
+    /// `budget` cycles.
+    pub fn run_until_idle(&mut self, budget: u64) -> Result<u64, NocError> {
+        let delivered_before = self.stats.packets_delivered;
+        let mut spent = 0;
+        while self.in_flight() > 0 {
+            if spent >= budget {
+                return Err(NocError::Timeout {
+                    budget,
+                    in_flight: self.in_flight(),
+                });
+            }
+            self.step();
+            spent += 1;
+        }
+        Ok(self.stats.packets_delivered - delivered_before)
+    }
+
+    /// Takes an activity snapshot (for windowed power computation).
+    pub fn snapshot(&self) -> ActivitySnapshot {
+        ActivitySnapshot {
+            cycle: self.cycle,
+            routers: self.routers.iter().map(Router::activity).collect(),
+            nic_injected: self.nics.iter().map(|n| n.flits_injected).collect(),
+            nic_ejected: self.nics.iter().map(|n| n.flits_ejected).collect(),
+        }
+    }
+
+    /// Read-only access to a router (for inspection in tests and tools).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the mesh.
+    pub fn router(&self, node: NodeId) -> &Router {
+        &self.routers[node.index()]
+    }
+
+    /// Resets all activity counters (cycle count and in-flight traffic are
+    /// preserved).
+    pub fn reset_activity(&mut self) {
+        for r in &mut self.routers {
+            r.reset_activity();
+        }
+        for nic in &mut self.nics {
+            nic.flits_injected = 0;
+            nic.flits_ejected = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::PacketClass;
+
+    fn mk_net(n: usize) -> Network {
+        Network::new(Mesh::square(n).unwrap(), NocConfig::default())
+    }
+
+    fn packet(id: u64, net: &Network, sx: u8, sy: u8, dx: u8, dy: u8, len: u32) -> Packet {
+        let src = net.mesh().node_id_at(sx, sy).unwrap();
+        let dst = net.mesh().node_id_at(dx, dy).unwrap();
+        Packet::new(id, src, dst, PacketClass::Data, len)
+    }
+
+    #[test]
+    fn single_packet_delivery() {
+        let mut net = mk_net(4);
+        let p = packet(0, &net, 0, 0, 3, 3, 4);
+        net.inject(p).unwrap();
+        let delivered = net.run_until_idle(1_000).unwrap();
+        assert_eq!(delivered, 1);
+        let recs = net.drain_delivered(net.mesh().node_id_at(3, 3).unwrap());
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].src, p.src);
+        // 6 hops, 4 flits, ~2 cycles per hop + serialization.
+        assert!(recs[0].latency() >= 10 && recs[0].latency() <= 40, "latency {}", recs[0].latency());
+    }
+
+    #[test]
+    fn local_delivery_same_node() {
+        let mut net = mk_net(3);
+        net.inject(packet(0, &net, 1, 1, 1, 1, 2)).unwrap();
+        assert_eq!(net.run_until_idle(100).unwrap(), 1);
+    }
+
+    #[test]
+    fn all_to_all_delivery_no_loss() {
+        let mut net = mk_net(4);
+        let mesh = net.mesh();
+        let mut id = 0;
+        for src in mesh.iter_nodes() {
+            for dst in mesh.iter_nodes() {
+                if src != dst {
+                    net.inject(Packet::new(id, src, dst, PacketClass::Data, 3)).unwrap();
+                    id += 1;
+                }
+            }
+        }
+        let total = 16 * 15;
+        let delivered = net.run_until_idle(100_000).unwrap();
+        assert_eq!(delivered, total);
+        assert_eq!(net.stats().packets_delivered, total);
+        assert_eq!(net.stats().flits_ejected, 3 * total);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn empty_packet_rejected() {
+        let mut net = mk_net(3);
+        let mut p = packet(0, &net, 0, 0, 1, 1, 1);
+        p.len_flits = 0;
+        assert_eq!(net.inject(p), Err(NocError::EmptyPacket));
+    }
+
+    #[test]
+    fn out_of_mesh_node_rejected() {
+        let mut net = mk_net(3);
+        let p = Packet::new(0, NodeId::new(0), NodeId::new(99), PacketClass::Data, 1);
+        assert!(matches!(net.inject(p), Err(NocError::CoordOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn timeout_reported() {
+        let mut net = mk_net(4);
+        net.inject(packet(0, &net, 0, 0, 3, 3, 8)).unwrap();
+        let err = net.run_until_idle(2).unwrap_err();
+        assert!(matches!(err, NocError::Timeout { .. }));
+    }
+
+    #[test]
+    fn flits_arrive_in_order() {
+        let mut net = mk_net(4);
+        // Two packets from different sources to the same sink, long bodies.
+        net.inject(packet(0, &net, 0, 0, 3, 0, 16)).unwrap();
+        net.inject(packet(1, &net, 0, 1, 3, 0, 16)).unwrap();
+        net.run_until_idle(10_000).unwrap();
+        // Reassembly would panic (debug) or miscount on out-of-order
+        // delivery; reaching here with 2 packets is the assertion.
+        assert_eq!(net.stats().packets_delivered, 2);
+    }
+
+    #[test]
+    fn wormhole_blocks_do_not_deadlock() {
+        // Saturate a 4x4 with cross traffic on one VC class.
+        let mut net = mk_net(4);
+        let mesh = net.mesh();
+        let mut id = 0;
+        for rep in 0..10 {
+            for y in 0..4u8 {
+                let src = mesh.node_id_at(0, y).unwrap();
+                let dst = mesh.node_id_at(3, 3 - y).unwrap();
+                net.inject(Packet::new(id, src, dst, PacketClass::Data, 8)).unwrap();
+                id += 1;
+                let src2 = mesh.node_id_at(3 - y, 0).unwrap();
+                let dst2 = mesh.node_id_at(y, 3).unwrap();
+                net.inject(Packet::new(id, src2, dst2, PacketClass::Data, 8)).unwrap();
+                id += 1;
+            }
+            let _ = rep;
+        }
+        let delivered = net.run_until_idle(100_000).unwrap();
+        assert_eq!(delivered, 80);
+    }
+
+    #[test]
+    fn credits_restored_after_drain() {
+        let mut net = mk_net(4);
+        net.inject(packet(0, &net, 0, 0, 3, 2, 12)).unwrap();
+        net.run_until_idle(10_000).unwrap();
+        net.run(5); // let trailing credits land
+        for node in net.mesh().iter_nodes() {
+            let r = net.router(node);
+            for out in &r.outputs {
+                for &c in &out.credits {
+                    assert_eq!(c, net.config().buffer_depth);
+                }
+                assert!(out.credit_queue.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn activity_counters_consistent() {
+        let mut net = mk_net(4);
+        net.inject(packet(0, &net, 0, 0, 2, 0, 5)).unwrap();
+        net.run_until_idle(1_000).unwrap();
+        let snap = net.snapshot();
+        let total_writes: u64 = snap.routers.iter().map(|r| r.buffer_writes).sum();
+        let total_reads: u64 = snap.routers.iter().map(|r| r.buffer_reads).sum();
+        // Every buffered flit is eventually read exactly once.
+        assert_eq!(total_writes, total_reads);
+        // 5 flits traverse 3 routers each (src, mid, dst).
+        assert_eq!(total_reads, 15);
+        // 2 link hops * 5 flits.
+        assert_eq!(net.stats().flit_hops, 10);
+        let xbar: u64 = snap.routers.iter().map(|r| r.xbar_traversals).sum();
+        assert_eq!(xbar, 15);
+    }
+
+    #[test]
+    fn snapshot_delta_tracks_window() {
+        let mut net = mk_net(4);
+        net.inject(packet(0, &net, 0, 0, 3, 3, 4)).unwrap();
+        net.run_until_idle(1_000).unwrap();
+        let a = net.snapshot();
+        net.inject(packet(1, &net, 3, 3, 0, 0, 4)).unwrap();
+        net.run_until_idle(1_000).unwrap();
+        let b = net.snapshot();
+        let d = b.delta_since(&a);
+        let writes: u64 = d.routers.iter().map(|r| r.buffer_writes).sum();
+        assert_eq!(writes, 4 * 7); // 4 flits through 7 routers
+    }
+
+    #[test]
+    fn reset_activity_clears_counters() {
+        let mut net = mk_net(3);
+        net.inject(packet(0, &net, 0, 0, 2, 2, 2)).unwrap();
+        net.run_until_idle(1_000).unwrap();
+        net.reset_activity();
+        let snap = net.snapshot();
+        assert!(snap.routers.iter().all(|r| r.is_idle()));
+        assert!(snap.nic_injected.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn vc_classes_use_separate_channels() {
+        let mut net = mk_net(4);
+        let src = net.mesh().node_id_at(0, 0).unwrap();
+        let dst = net.mesh().node_id_at(3, 0).unwrap();
+        net.inject(Packet::new(0, src, dst, PacketClass::Data, 4)).unwrap();
+        net.inject(Packet::new(1, src, dst, PacketClass::State, 4)).unwrap();
+        net.run_until_idle(1_000).unwrap();
+        assert_eq!(net.stats().packets_delivered, 2);
+    }
+
+    #[test]
+    fn external_injection_respects_address_map() {
+        use crate::io_interface::AddressMap;
+
+        #[derive(Debug)]
+        struct SwapCorners;
+        impl AddressMap for SwapCorners {
+            fn logical_to_physical(&self, c: Coord) -> Coord {
+                match (c.x, c.y) {
+                    (0, 0) => Coord::new(3, 3),
+                    (3, 3) => Coord::new(0, 0),
+                    _ => c,
+                }
+            }
+            fn physical_to_logical(&self, c: Coord) -> Coord {
+                self.logical_to_physical(c)
+            }
+        }
+
+        let mut net = mk_net(4);
+        net.set_address_map(Box::new(SwapCorners));
+        let p = packet(0, &net, 1, 1, 0, 0, 2); // logical dst (0,0)
+        net.inject_external(p).unwrap();
+        net.run_until_idle(1_000).unwrap();
+        // Physically delivered to (3,3).
+        let at_swapped = net.drain_delivered(net.mesh().node_id_at(3, 3).unwrap());
+        assert_eq!(at_swapped.len(), 1);
+        // Outbound source translation.
+        let rec = at_swapped[0];
+        let rec_out = net.externalize(DeliveredPacket {
+            src: net.mesh().node_id_at(3, 3).unwrap(),
+            ..rec
+        });
+        assert_eq!(rec_out.src, net.mesh().node_id_at(0, 0).unwrap());
+    }
+
+    #[test]
+    fn run_advances_cycles() {
+        let mut net = mk_net(3);
+        net.run(17);
+        assert_eq!(net.cycle(), 17);
+    }
+
+    #[test]
+    fn latency_histogram_tracks_deliveries() {
+        let mut net = mk_net(4);
+        for i in 0..10 {
+            net.inject(packet(i, &net, 0, 0, 3, 3, 2)).unwrap();
+        }
+        net.run_until_idle(10_000).unwrap();
+        let h = &net.stats().latency_histogram;
+        assert_eq!(h.count(), 10);
+        let p99 = h.quantile_upper_bound(0.99).unwrap();
+        assert!(p99 >= net.stats().max_packet_latency);
+        let p50 = h.quantile_upper_bound(0.5).unwrap();
+        assert!(p50 <= p99);
+    }
+}

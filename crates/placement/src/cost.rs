@@ -1,0 +1,179 @@
+//! Placement cost functions.
+
+use hotnoc_noc::{Mesh, NodeId};
+use hotnoc_thermal::RcNetwork;
+
+/// A cost function over assignments (`assignment[cluster] = tile index`).
+/// Lower is better.
+pub trait PlacementCost {
+    /// Evaluates one assignment.
+    fn evaluate(&self, assignment: &[usize]) -> f64;
+}
+
+/// Communication cost: total flit-hops per iteration,
+/// `sum t[i][j] * manhattan(tile_i, tile_j)`.
+#[derive(Debug)]
+pub struct CommCost<'a> {
+    mesh: Mesh,
+    traffic: &'a [Vec<u64>],
+}
+
+impl<'a> CommCost<'a> {
+    /// Creates a communication cost over a cluster traffic matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or exceeds the mesh size.
+    pub fn new(mesh: Mesh, traffic: &'a [Vec<u64>]) -> Self {
+        let k = traffic.len();
+        assert!(traffic.iter().all(|row| row.len() == k), "matrix not square");
+        assert!(k <= mesh.len(), "more clusters than tiles");
+        CommCost { mesh, traffic }
+    }
+}
+
+impl PlacementCost for CommCost<'_> {
+    fn evaluate(&self, assignment: &[usize]) -> f64 {
+        let mut cost = 0.0;
+        for (i, row) in self.traffic.iter().enumerate() {
+            let ci = self.mesh.coord(NodeId::new(assignment[i] as u16));
+            for (j, &t) in row.iter().enumerate() {
+                if t == 0 || i == j {
+                    continue;
+                }
+                let cj = self.mesh.coord(NodeId::new(assignment[j] as u16));
+                cost += t as f64 * ci.manhattan(cj) as f64;
+            }
+        }
+        cost
+    }
+}
+
+/// Thermal cost: the steady-state peak temperature of the chip when cluster
+/// `i`'s power lands on its assigned tile.
+#[derive(Debug)]
+pub struct PeakTempCost<'a> {
+    net: &'a RcNetwork,
+    cluster_power: &'a [f64],
+}
+
+impl<'a> PeakTempCost<'a> {
+    /// Creates a peak-temperature cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more clusters than thermal blocks.
+    pub fn new(net: &'a RcNetwork, cluster_power: &'a [f64]) -> Self {
+        assert!(
+            cluster_power.len() <= net.n_blocks(),
+            "more clusters than blocks"
+        );
+        PeakTempCost { net, cluster_power }
+    }
+}
+
+impl PlacementCost for PeakTempCost<'_> {
+    fn evaluate(&self, assignment: &[usize]) -> f64 {
+        let mut power = vec![0.0; self.net.n_blocks()];
+        for (cluster, &tile) in assignment.iter().enumerate() {
+            power[tile] = self.cluster_power[cluster];
+        }
+        let temps = self
+            .net
+            .steady_state(&power)
+            .expect("power vector sized to model");
+        temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Weighted blend of two cost functions (e.g. thermal-primary with a small
+/// communication tie-breaker, which is how real thermally-aware flows avoid
+/// pathological wire length).
+pub struct BlendedCost<'a> {
+    /// The primary cost and its weight.
+    pub primary: (&'a dyn PlacementCost, f64),
+    /// The secondary cost and its weight.
+    pub secondary: (&'a dyn PlacementCost, f64),
+}
+
+impl PlacementCost for BlendedCost<'_> {
+    fn evaluate(&self, assignment: &[usize]) -> f64 {
+        self.primary.0.evaluate(assignment) * self.primary.1
+            + self.secondary.0.evaluate(assignment) * self.secondary.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotnoc_thermal::{Floorplan, PackageConfig};
+
+    #[test]
+    fn comm_cost_counts_hops() {
+        let mesh = Mesh::square(2).unwrap();
+        let mut t = vec![vec![0u64; 4]; 4];
+        t[0][3] = 10;
+        let cost = CommCost::new(mesh, &t);
+        // Identity: cluster 0 at tile 0 (0,0), cluster 3 at tile 3 (1,1): 2 hops.
+        assert_eq!(cost.evaluate(&[0, 1, 2, 3]), 20.0);
+        // Swap 3 next to 0: 1 hop.
+        assert_eq!(cost.evaluate(&[0, 3, 2, 1]), 10.0);
+    }
+
+    #[test]
+    fn peak_temp_prefers_separated_hotspots() {
+        let plan = Floorplan::mesh_grid(3, 3, 4.36e-6).unwrap();
+        let net = RcNetwork::build(&plan, &PackageConfig::date05_defaults()).unwrap();
+        let mut power = vec![1.0; 9];
+        power[0] = 5.0;
+        power[1] = 5.0; // two hot clusters
+        let cost = PeakTempCost::new(&net, &power);
+        // Identity: hot clusters on adjacent tiles 0 and 1.
+        let adjacent: Vec<usize> = (0..9).collect();
+        // Separated: hot clusters on opposite corners (tiles 0 and 8).
+        let separated: Vec<usize> = vec![0, 8, 2, 3, 4, 5, 6, 7, 1];
+        assert!(
+            cost.evaluate(&separated) < cost.evaluate(&adjacent),
+            "separating hot clusters should lower the peak"
+        );
+    }
+
+    #[test]
+    fn lone_hotspot_prefers_center_spreading() {
+        // With a cool background, the centre tile offers the most lateral
+        // silicon to spread into — the physical reason rotation/mirroring
+        // (which never move the centre of an odd mesh) fail on the paper's
+        // configuration E, whose hotspots sit near the centre.
+        let plan = Floorplan::mesh_grid(3, 3, 4.36e-6).unwrap();
+        let net = RcNetwork::build(&plan, &PackageConfig::date05_defaults()).unwrap();
+        let mut power = vec![1.0; 9];
+        power[0] = 5.0;
+        let cost = PeakTempCost::new(&net, &power);
+        let corner: Vec<usize> = (0..9).collect();
+        let center: Vec<usize> = vec![4, 1, 2, 3, 0, 5, 6, 7, 8];
+        assert!(cost.evaluate(&center) < cost.evaluate(&corner));
+    }
+
+    #[test]
+    fn blended_cost_is_weighted_sum() {
+        let mesh = Mesh::square(2).unwrap();
+        let mut t = vec![vec![0u64; 4]; 4];
+        t[0][1] = 1;
+        let a = CommCost::new(mesh, &t);
+        let b = CommCost::new(mesh, &t);
+        let blend = BlendedCost {
+            primary: (&a, 2.0),
+            secondary: (&b, 3.0),
+        };
+        let asg = [0, 1, 2, 3];
+        assert!((blend.evaluate(&asg) - 5.0 * a.evaluate(&asg)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix not square")]
+    fn ragged_matrix_rejected() {
+        let mesh = Mesh::square(2).unwrap();
+        let t = vec![vec![0u64; 3], vec![0u64; 4]];
+        let _ = CommCost::new(mesh, &t);
+    }
+}

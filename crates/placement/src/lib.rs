@@ -1,0 +1,41 @@
+//! # hotnoc-placement — thermally-aware static placement
+//!
+//! The paper's baseline: "our workload was mapped onto PEs using a
+//! thermally-aware placement algorithm that minimizes the peak temperature.
+//! Using such a thermally-aware mapping puts our method in a worst-case
+//! light" — runtime reconfiguration must improve on a placement that is
+//! already thermally optimal.
+//!
+//! This crate provides that algorithm (simulated annealing over
+//! cluster→tile assignments with a steady-state thermal objective,
+//! [`thermal_aware::thermally_aware_placement`]), plus communication-aware
+//! and random baselines.
+//!
+//! ```
+//! use hotnoc_placement::{annealer::Annealer, cost::{CommCost, PlacementCost}, random::identity_assignment};
+//! use hotnoc_noc::Mesh;
+//!
+//! let mesh = Mesh::square(3)?;
+//! // Heavy traffic between clusters 0 and 8: the annealer should pull them
+//! // together.
+//! let mut traffic = vec![vec![0u64; 9]; 9];
+//! traffic[0][8] = 100;
+//! let cost = CommCost::new(mesh, &traffic);
+//! let annealer = Annealer::default();
+//! let (assignment, best) = annealer.optimize(9, &cost);
+//! assert_eq!(assignment.len(), 9);
+//! assert!(best <= cost.evaluate(&identity_assignment(9)));
+//! # Ok::<(), hotnoc_noc::NocError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod annealer;
+pub mod cost;
+pub mod random;
+pub mod thermal_aware;
+
+pub use annealer::Annealer;
+pub use cost::{BlendedCost, CommCost, PeakTempCost, PlacementCost};
+pub use thermal_aware::thermally_aware_placement;

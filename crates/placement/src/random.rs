@@ -1,0 +1,38 @@
+//! Trivial placement baselines.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The identity assignment: cluster `i` on tile `i`.
+pub fn identity_assignment(n: usize) -> Vec<usize> {
+    (0..n).collect()
+}
+
+/// A uniformly random assignment (seeded, reproducible).
+pub fn random_assignment(n: usize, seed: u64) -> Vec<usize> {
+    let mut v = identity_assignment(n);
+    v.shuffle(&mut StdRng::seed_from_u64(seed));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_identity() {
+        assert_eq!(identity_assignment(4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn random_is_permutation_and_reproducible() {
+        let a = random_assignment(25, 7);
+        let b = random_assignment(25, 7);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, identity_assignment(25));
+        assert_ne!(a, identity_assignment(25), "seed 7 should shuffle");
+    }
+}

@@ -1,0 +1,59 @@
+//! Property tests for the placement optimizer: outputs are permutations,
+//! optimization never loses to the identity start, determinism per seed.
+
+use hotnoc_noc::Mesh;
+use hotnoc_placement::cost::{CommCost, PlacementCost};
+use hotnoc_placement::random::identity_assignment;
+use hotnoc_placement::Annealer;
+use proptest::prelude::*;
+
+fn traffic_strategy(k: usize) -> impl Strategy<Value = Vec<Vec<u64>>> {
+    proptest::collection::vec(proptest::collection::vec(0u64..50, k), k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn annealed_assignment_is_permutation(traffic in traffic_strategy(9), seed in 0u64..100) {
+        let mesh = Mesh::square(3).unwrap();
+        let cost = CommCost::new(mesh, &traffic);
+        let annealer = Annealer {
+            iters: 500,
+            seed,
+            ..Annealer::default()
+        };
+        let (best, _) = annealer.optimize(9, &cost);
+        let mut sorted = best;
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn never_worse_than_identity(traffic in traffic_strategy(9), seed in 0u64..100) {
+        let mesh = Mesh::square(3).unwrap();
+        let cost = CommCost::new(mesh, &traffic);
+        let annealer = Annealer {
+            iters: 800,
+            seed,
+            ..Annealer::default()
+        };
+        let (_, best_cost) = annealer.optimize(9, &cost);
+        let id_cost = cost.evaluate(&identity_assignment(9));
+        prop_assert!(best_cost <= id_cost + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed(traffic in traffic_strategy(4), seed in 0u64..100) {
+        let mesh = Mesh::square(2).unwrap();
+        let cost = CommCost::new(mesh, &traffic);
+        let annealer = Annealer {
+            iters: 300,
+            seed,
+            ..Annealer::default()
+        };
+        let a = annealer.optimize(4, &cost);
+        let b = annealer.optimize(4, &cost);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,68 @@
+//! Temperature-dependent leakage (static) power.
+//!
+//! Subthreshold leakage grows exponentially with junction temperature; the
+//! usual architectural model is `P(T) = P(T_ref) * exp(k * (T - T_ref))`.
+//! The paper observes this coupling indirectly: the rotation scheme's
+//! migration energy raises configuration E's average temperature by 0.3 °C,
+//! which in turn raises leakage chip-wide.
+
+use crate::tech::TechParams;
+
+/// Leakage power of a block of `area_mm2` at junction temperature
+/// `temp_c`, in watts.
+pub fn leakage_power(area_mm2: f64, temp_c: f64, tech: &TechParams) -> f64 {
+    area_mm2
+        * tech.leak_density_ref
+        * (tech.leak_temp_coeff * (temp_c - tech.leak_t_ref)).exp()
+}
+
+/// One sweep of the leakage/temperature fixed point: given block
+/// temperatures, returns per-block leakage. The co-simulation alternates
+/// this with the thermal solve; convergence is fast because d(leak)/dT is
+/// small compared to the thermal conductance to ambient.
+pub fn leakage_per_block(areas_mm2: &[f64], temps_c: &[f64], tech: &TechParams) -> Vec<f64> {
+    assert_eq!(areas_mm2.len(), temps_c.len(), "length mismatch");
+    areas_mm2
+        .iter()
+        .zip(temps_c)
+        .map(|(&a, &t)| leakage_power(a, t, tech))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leakage_grows_with_temperature() {
+        let tech = TechParams::ldpc_160nm();
+        let cold = leakage_power(4.36, 40.0, &tech);
+        let hot = leakage_power(4.36, 85.0, &tech);
+        assert!(hot > cold * 1.5, "expected strong growth: {cold} -> {hot}");
+    }
+
+    #[test]
+    fn reference_point_matches_density() {
+        let tech = TechParams::ldpc_160nm();
+        let p = leakage_power(1.0, tech.leak_t_ref, &tech);
+        assert!((p - tech.leak_density_ref).abs() < 1e-15);
+    }
+
+    #[test]
+    fn per_block_vectorized() {
+        let tech = TechParams::ldpc_160nm();
+        let areas = [4.36, 4.36];
+        let temps = [50.0, 90.0];
+        let l = leakage_per_block(&areas, &temps, &tech);
+        assert_eq!(l.len(), 2);
+        assert!(l[1] > l[0]);
+    }
+
+    #[test]
+    fn leakage_small_fraction_of_tile_watts() {
+        // At 160 nm leakage is a minor (but non-zero) fraction of ~1.5 W.
+        let tech = TechParams::ldpc_160nm();
+        let p = leakage_power(4.36, 80.0, &tech);
+        assert!((0.001..0.3).contains(&p), "leakage {p} W implausible");
+    }
+}

@@ -1,0 +1,105 @@
+//! # hotnoc-power — activity-based power models (160 nm)
+//!
+//! Substitute for the Synopsys Power Compiler flow of the DATE'05 paper: the
+//! paper synthesizes its LDPC chips in a 160 nm standard-cell library,
+//! obtains per-unit power with Power Compiler, and drives it with switching
+//! rates from the cycle-accurate NoC simulator. This crate computes the same
+//! quantity — watts per functional unit — from the simulator's activity
+//! counters and an energy-per-event technology characterization
+//! ([`tech::TechParams::ldpc_160nm`]).
+//!
+//! Components:
+//!
+//! * [`activity`] — neutral per-tile activity records (router events + PE
+//!   operations per window),
+//! * [`router_power`] — Orion-style router energy (buffers, crossbar,
+//!   arbiter, links),
+//! * [`pe_power`] — LDPC processing-element compute energy,
+//! * [`leakage`] — temperature-dependent static power,
+//! * [`trace`] — per-block power traces consumed by `hotnoc-thermal`.
+//!
+//! ```
+//! use hotnoc_power::{tech::TechParams, activity::TileActivity, tile_power};
+//!
+//! let tech = TechParams::ldpc_160nm();
+//! let act = TileActivity {
+//!     buffer_writes: 10_000,
+//!     buffer_reads: 10_000,
+//!     xbar_traversals: 10_000,
+//!     arbitrations: 12_000,
+//!     link_flits: 9_000,
+//!     bit_transitions: 300_000,
+//!     pe_ops: 40_000,
+//! };
+//! let p = tile_power(&act, 54_650, &tech, 70.0);
+//! assert!(p.total() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod leakage;
+pub mod pe_power;
+pub mod router_power;
+pub mod tech;
+pub mod trace;
+
+pub use activity::{ActivityFrame, TileActivity};
+pub use tech::TechParams;
+pub use trace::{PowerBreakdown, PowerTrace};
+
+/// Computes the full power breakdown of one tile over a window of
+/// `cycles` cycles at junction temperature `temp_c`.
+///
+/// This is the top-level entry point combining [`router_power`],
+/// [`pe_power`] and [`leakage`].
+pub fn tile_power(
+    activity: &TileActivity,
+    cycles: u64,
+    tech: &TechParams,
+    temp_c: f64,
+) -> PowerBreakdown {
+    PowerBreakdown {
+        router: router_power::router_dynamic_power(activity, cycles, tech),
+        pe: pe_power::pe_dynamic_power(activity.pe_ops, cycles, tech),
+        leakage: leakage::leakage_power(tech.tile_area_mm2, temp_c, tech),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_tile_consumes_more_than_idle() {
+        let tech = TechParams::ldpc_160nm();
+        let busy = TileActivity {
+            buffer_writes: 50_000,
+            buffer_reads: 50_000,
+            xbar_traversals: 50_000,
+            arbitrations: 50_000,
+            link_flits: 45_000,
+            bit_transitions: 1_500_000,
+            pe_ops: 100_000,
+        };
+        let idle = TileActivity::default();
+        let pb = tile_power(&busy, 54_650, &tech, 70.0);
+        let pi = tile_power(&idle, 54_650, &tech, 70.0);
+        assert!(pb.total() > pi.total());
+        assert!(pi.router == 0.0 && pi.pe == 0.0);
+        assert!(pi.leakage > 0.0, "idle tile still leaks");
+    }
+
+    #[test]
+    fn zero_cycles_gives_zero_dynamic() {
+        let tech = TechParams::ldpc_160nm();
+        let act = TileActivity {
+            pe_ops: 10,
+            ..TileActivity::default()
+        };
+        let p = tile_power(&act, 0, &tech, 50.0);
+        assert_eq!(p.pe, 0.0);
+        assert_eq!(p.router, 0.0);
+    }
+}

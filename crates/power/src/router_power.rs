@@ -1,0 +1,84 @@
+//! Router dynamic power from event counts (Orion-style decomposition).
+
+use crate::activity::TileActivity;
+use crate::tech::TechParams;
+
+/// Dynamic energy consumed by one router over a window, in joules.
+pub fn router_dynamic_energy(a: &TileActivity, tech: &TechParams) -> f64 {
+    a.buffer_writes as f64 * tech.e_buffer_write
+        + a.buffer_reads as f64 * tech.e_buffer_read
+        + a.xbar_traversals as f64 * tech.e_xbar
+        + a.arbitrations as f64 * tech.e_arb
+        + a.link_flits as f64 * tech.e_link_flit
+        + a.bit_transitions as f64 * tech.e_bit_transition
+}
+
+/// Average dynamic power of one router over a window of `cycles` cycles, in
+/// watts. Zero for an empty window.
+pub fn router_dynamic_power(a: &TileActivity, cycles: u64, tech: &TechParams) -> f64 {
+    if cycles == 0 {
+        return 0.0;
+    }
+    let seconds = cycles as f64 / tech.clock_hz;
+    router_dynamic_energy(a, tech) / seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn act() -> TileActivity {
+        TileActivity {
+            buffer_writes: 1000,
+            buffer_reads: 1000,
+            xbar_traversals: 1000,
+            arbitrations: 1200,
+            link_flits: 900,
+            bit_transitions: 32_000,
+            pe_ops: 0,
+        }
+    }
+
+    #[test]
+    fn energy_is_linear_in_activity() {
+        let tech = TechParams::ldpc_160nm();
+        let e1 = router_dynamic_energy(&act(), &tech);
+        let doubled = act() + act();
+        let e2 = router_dynamic_energy(&doubled, &tech);
+        assert!((e2 / e1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_scales_inverse_with_window() {
+        let tech = TechParams::ldpc_160nm();
+        let p1 = router_dynamic_power(&act(), 1000, &tech);
+        let p2 = router_dynamic_power(&act(), 2000, &tech);
+        assert!((p1 / p2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buffer_events_dominate_arbitration() {
+        // Sanity on the decomposition: datapath >> control for wide flits.
+        let tech = TechParams::ldpc_160nm();
+        assert!(tech.e_buffer_write > 10.0 * tech.e_arb);
+    }
+
+    #[test]
+    fn plausible_magnitude() {
+        // A saturated router (1 flit/cycle on 4 ports) at 500 MHz should
+        // burn tens of milliwatts to a few hundred, not watts.
+        let tech = TechParams::ldpc_160nm();
+        let cycles = 500_000;
+        let a = TileActivity {
+            buffer_writes: 4 * cycles,
+            buffer_reads: 4 * cycles,
+            xbar_traversals: 4 * cycles,
+            arbitrations: 5 * cycles,
+            link_flits: 4 * cycles,
+            bit_transitions: 4 * 32 * cycles,
+            pe_ops: 0,
+        };
+        let p = router_dynamic_power(&a, cycles, &tech);
+        assert!((0.01..2.0).contains(&p), "router power {p} W implausible");
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the power models: linearity in activity, inverse
+//! scaling with window length, leakage monotonicity in temperature.
+
+use hotnoc_power::{activity::TileActivity, leakage, pe_power, router_power, tech::TechParams};
+use proptest::prelude::*;
+
+fn activity_strategy() -> impl Strategy<Value = TileActivity> {
+    (
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..10_000_000,
+        0u64..1_000_000,
+    )
+        .prop_map(
+            |(bw, br, xb, arb, lf, bt, ops)| TileActivity {
+                buffer_writes: bw,
+                buffer_reads: br,
+                xbar_traversals: xb,
+                arbitrations: arb,
+                link_flits: lf,
+                bit_transitions: bt,
+                pe_ops: ops,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn router_energy_additive(a in activity_strategy(), b in activity_strategy()) {
+        let tech = TechParams::ldpc_160nm();
+        let ea = router_power::router_dynamic_energy(&a, &tech);
+        let eb = router_power::router_dynamic_energy(&b, &tech);
+        let eab = router_power::router_dynamic_energy(&(a + b), &tech);
+        prop_assert!((eab - (ea + eb)).abs() < 1e-9 * (1.0 + eab.abs()));
+    }
+
+    #[test]
+    fn power_halves_when_window_doubles(
+        a in activity_strategy(),
+        cycles in 1u64..10_000_000,
+    ) {
+        let tech = TechParams::ldpc_160nm();
+        let p1 = router_power::router_dynamic_power(&a, cycles, &tech);
+        let p2 = router_power::router_dynamic_power(&a, cycles * 2, &tech);
+        prop_assert!((p1 - 2.0 * p2).abs() < 1e-9 * (1.0 + p1.abs()));
+    }
+
+    #[test]
+    fn pe_power_linear_in_ops(ops in 0u64..10_000_000, cycles in 1u64..10_000_000) {
+        let tech = TechParams::ldpc_160nm();
+        let p1 = pe_power::pe_dynamic_power(ops, cycles, &tech);
+        let p2 = pe_power::pe_dynamic_power(ops * 2, cycles, &tech);
+        prop_assert!((p2 - 2.0 * p1).abs() < 1e-9 * (1.0 + p2.abs()));
+    }
+
+    #[test]
+    fn leakage_monotone_in_temperature(
+        t1 in -20.0f64..200.0,
+        dt in 0.1f64..100.0,
+        area in 0.1f64..50.0,
+    ) {
+        let tech = TechParams::ldpc_160nm();
+        let cold = leakage::leakage_power(area, t1, &tech);
+        let hot = leakage::leakage_power(area, t1 + dt, &tech);
+        prop_assert!(hot > cold);
+        prop_assert!(cold > 0.0);
+    }
+
+    #[test]
+    fn scaled_activity_scales_energy(a in activity_strategy(), factor in 1u32..16) {
+        let tech = TechParams::ldpc_160nm();
+        let scaled = a.scaled(factor as f64);
+        let e1 = router_power::router_dynamic_energy(&a, &tech);
+        let e2 = router_power::router_dynamic_energy(&scaled, &tech);
+        // Integer factors scale the counters exactly.
+        prop_assert!((e2 - factor as f64 * e1).abs() < 1e-12 + 1e-9 * e2.abs());
+    }
+}

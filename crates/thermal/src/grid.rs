@@ -1,0 +1,235 @@
+//! Grid-mode refinement (HotSpot's second operating mode).
+//!
+//! The block model resolves one temperature per functional unit; grid mode
+//! subdivides each block into `g x g` cells for sub-block resolution. Here
+//! the refinement reuses the same RC builder: a refined [`Floorplan`] runs
+//! through [`RcNetwork::build`] unchanged, so the two modes are guaranteed
+//! to share the package model, and block mode is exactly grid mode with
+//! `g = 1`.
+
+use crate::error::ThermalError;
+use crate::floorplan::{Block, Floorplan};
+use crate::package::PackageConfig;
+use crate::rc_model::RcNetwork;
+
+/// A grid-refined thermal model: the original block list plus the refined
+/// network.
+#[derive(Debug, Clone)]
+pub struct GridModel {
+    factor: usize,
+    n_blocks: usize,
+    net: RcNetwork,
+}
+
+impl GridModel {
+    /// Builds a grid model with `factor x factor` cells per block.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::InvalidStep`] for `factor == 0` or a refinement so
+    ///   large it would exceed 4096 cells (keep LU tractable).
+    /// * Propagates floorplan/package validation failures.
+    pub fn build(
+        plan: &Floorplan,
+        pkg: &PackageConfig,
+        factor: usize,
+    ) -> Result<Self, ThermalError> {
+        if factor == 0 {
+            return Err(ThermalError::InvalidStep {
+                what: "refinement factor must be >= 1",
+            });
+        }
+        let cells = plan.len() * factor * factor;
+        if cells > 4096 {
+            return Err(ThermalError::InvalidStep {
+                what: "refinement too large (over 4096 cells)",
+            });
+        }
+        let refined = refine(plan, factor)?;
+        let net = RcNetwork::build(&refined, pkg)?;
+        Ok(GridModel {
+            factor,
+            n_blocks: plan.len(),
+            net,
+        })
+    }
+
+    /// The refinement factor per block side.
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+
+    /// Cells per block.
+    pub fn cells_per_block(&self) -> usize {
+        self.factor * self.factor
+    }
+
+    /// The underlying refined network (usable with the transient solver).
+    pub fn network(&self) -> &RcNetwork {
+        &self.net
+    }
+
+    /// Expands a per-block power vector to per-cell (each block's power is
+    /// spread uniformly over its cells).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::PowerLengthMismatch`] on a wrong-sized input.
+    pub fn expand_power(&self, per_block: &[f64]) -> Result<Vec<f64>, ThermalError> {
+        if per_block.len() != self.n_blocks {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: self.n_blocks,
+                got: per_block.len(),
+            });
+        }
+        let cpb = self.cells_per_block();
+        let mut out = Vec::with_capacity(per_block.len() * cpb);
+        for &p in per_block {
+            out.extend(std::iter::repeat(p / cpb as f64).take(cpb));
+        }
+        Ok(out)
+    }
+
+    /// Steady-state cell temperatures under a per-block power vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::PowerLengthMismatch`] on a wrong-sized input.
+    pub fn steady_state(&self, per_block: &[f64]) -> Result<Vec<f64>, ThermalError> {
+        let cell_power = self.expand_power(per_block)?;
+        self.net.steady_state(&cell_power)
+    }
+
+    /// Reduces per-cell temperatures to the per-block maximum — the
+    /// quantity grid mode refines over block mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_temps` does not hold one entry per cell.
+    pub fn max_per_block(&self, cell_temps: &[f64]) -> Vec<f64> {
+        let cpb = self.cells_per_block();
+        assert_eq!(cell_temps.len(), self.n_blocks * cpb, "cell count mismatch");
+        cell_temps
+            .chunks(cpb)
+            .map(|c| c.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+            .collect()
+    }
+}
+
+/// Subdivides every block of `plan` into `factor x factor` equal cells.
+/// Cells of block `i` occupy indices `i*factor^2 ..`, row-major within the
+/// block.
+///
+/// # Errors
+///
+/// Propagates floorplan validation (cannot fail for a valid input plan).
+pub fn refine(plan: &Floorplan, factor: usize) -> Result<Floorplan, ThermalError> {
+    let mut blocks = Vec::with_capacity(plan.len() * factor * factor);
+    for b in plan.blocks() {
+        let (cw, ch) = (b.w / factor as f64, b.h / factor as f64);
+        for gy in 0..factor {
+            for gx in 0..factor {
+                blocks.push(Block::new(
+                    format!("{}_{gx}_{gy}", b.name),
+                    b.x + gx as f64 * cw,
+                    b.y + gy as f64 * ch,
+                    cw,
+                    ch,
+                ));
+            }
+        }
+    }
+    Floorplan::new(blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan4() -> Floorplan {
+        Floorplan::mesh_grid(4, 4, 4.36e-6).unwrap()
+    }
+
+    #[test]
+    fn factor_one_matches_block_mode() {
+        let plan = plan4();
+        let pkg = PackageConfig::date05_defaults();
+        let block_net = RcNetwork::build(&plan, &pkg).unwrap();
+        let grid = GridModel::build(&plan, &pkg, 1).unwrap();
+        let mut power = vec![1.0; 16];
+        power[5] = 3.0;
+        let tb = block_net.steady_state(&power).unwrap();
+        let tg = grid.steady_state(&power).unwrap();
+        for (a, b) in tb.iter().zip(&tg) {
+            assert!((a - b).abs() < 1e-9, "g=1 grid differs from block model");
+        }
+    }
+
+    #[test]
+    fn refinement_conserves_energy() {
+        let plan = plan4();
+        let pkg = PackageConfig::date05_defaults();
+        let grid = GridModel::build(&plan, &pkg, 3).unwrap();
+        let power = vec![1.5; 16];
+        let cells = grid.expand_power(&power).unwrap();
+        let total_cells: f64 = cells.iter().sum();
+        let total_blocks: f64 = power.iter().sum();
+        assert!((total_cells - total_blocks).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_peak_close_to_block_peak_for_uniform_block_power() {
+        // With power uniform within each block, the refined solution should
+        // agree with the block solution to within a fraction of a degree.
+        let plan = plan4();
+        let pkg = PackageConfig::date05_defaults();
+        let block_net = RcNetwork::build(&plan, &pkg).unwrap();
+        let grid = GridModel::build(&plan, &pkg, 2).unwrap();
+        let mut power = vec![1.0; 16];
+        power[0] = 3.5;
+        let tb = block_net.steady_state(&power).unwrap();
+        let tg = grid.steady_state(&power).unwrap();
+        let per_block_max = grid.max_per_block(&tg);
+        for (i, (a, b)) in tb.iter().zip(&per_block_max).enumerate() {
+            assert!(
+                (a - b).abs() < 1.5,
+                "block {i}: block-mode {a:.2} vs grid max {b:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_resolves_intra_block_gradient() {
+        // A hot block adjacent to a cool region: the cell nearest the cool
+        // neighbour should be cooler than the far cell.
+        let plan = plan4();
+        let pkg = PackageConfig::date05_defaults();
+        let grid = GridModel::build(&plan, &pkg, 3).unwrap();
+        let mut power = vec![0.2; 16];
+        power[0] = 4.0; // hot corner block at (0,0)
+        let t = grid.steady_state(&power).unwrap();
+        // Block 0's cells are indices 0..9 (row-major within block).
+        let near_neighbor = t[2 + 2 * 3]; // cell (2,2): closest to blocks 1 and 4
+        let far_corner = t[0]; // cell (0,0): die corner
+        assert!(
+            far_corner > near_neighbor,
+            "corner cell {far_corner:.3} should exceed interior-facing cell {near_neighbor:.3}"
+        );
+    }
+
+    #[test]
+    fn invalid_factors_rejected() {
+        let plan = plan4();
+        let pkg = PackageConfig::date05_defaults();
+        assert!(GridModel::build(&plan, &pkg, 0).is_err());
+        assert!(GridModel::build(&plan, &pkg, 50).is_err());
+    }
+
+    #[test]
+    fn refine_geometry() {
+        let plan = plan4();
+        let refined = refine(&plan, 2).unwrap();
+        assert_eq!(refined.len(), 64);
+        assert!((refined.total_area() - plan.total_area()).abs() < 1e-12);
+    }
+}

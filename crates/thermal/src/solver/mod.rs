@@ -1,0 +1,4 @@
+//! Steady-state and transient solvers for [`crate::RcNetwork`].
+
+pub mod steady;
+pub mod transient;

@@ -1,0 +1,71 @@
+//! Demonstrates the paper's baseline flow: thermally-aware static placement
+//! minimizing peak temperature via simulated annealing, compared against
+//! identity/random placements and a communication-aware blend.
+//!
+//! The paper: "our workload was mapped onto PEs using a thermally-aware
+//! placement algorithm that minimizes the peak temperature. Using such a
+//! thermally-aware mapping puts our method in a worst-case light."
+//!
+//! Run with: `cargo run --example placement_opt`
+
+use hotnoc::ldpc::{ClusterMapping, LdpcCode};
+use hotnoc::noc::Mesh;
+use hotnoc::placement::{
+    annealer::Annealer,
+    cost::{BlendedCost, CommCost, PeakTempCost, PlacementCost},
+    random::{identity_assignment, random_assignment},
+    thermally_aware_placement,
+};
+use hotnoc::thermal::{Floorplan, PackageConfig, RcNetwork};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 4x4 chip with a deliberately bad initial workload distribution:
+    // all the heavy LDPC clusters bunched in one corner.
+    let mesh = Mesh::square(4)?;
+    let plan = Floorplan::mesh_grid(4, 4, 4.36e-6)?;
+    let net = RcNetwork::build(&plan, &PackageConfig::date05_defaults())?;
+
+    let mut cluster_power = vec![0.8; 16];
+    for hot in [0usize, 1, 4, 5] {
+        cluster_power[hot] = 2.6; // the hot quadrant
+    }
+
+    let cost = PeakTempCost::new(&net, &cluster_power);
+    println!(
+        "Identity placement peak: {:.2} C",
+        cost.evaluate(&identity_assignment(16))
+    );
+    println!(
+        "Random placement peak:   {:.2} C",
+        cost.evaluate(&random_assignment(16, 3))
+    );
+
+    let annealer = Annealer::default();
+    let result = thermally_aware_placement(&net, &cluster_power, &annealer);
+    println!(
+        "Thermally-aware (SA):    {:.2} C  (improvement {:.2} C)",
+        result.peak_celsius,
+        result.identity_peak_celsius - result.peak_celsius
+    );
+    println!("Assignment: {:?}", result.assignment);
+
+    // Real flows also care about wire length: blend in communication cost
+    // from the LDPC traffic matrix.
+    let code = LdpcCode::gallager(960, 3, 6, 5)?;
+    let mapping = ClusterMapping::contiguous(&code, 16)?;
+    let traffic = mapping.traffic_matrix(&code);
+    let comm = CommCost::new(mesh, &traffic);
+    let thermal_cost = PeakTempCost::new(&net, &cluster_power);
+    let blended = BlendedCost {
+        primary: (&thermal_cost, 1.0),
+        secondary: (&comm, 1e-5),
+    };
+    let (assignment, blended_cost) = annealer.optimize(16, &blended);
+    println!(
+        "\nBlended thermal+comm optimum: cost {:.3} (peak {:.2} C, comm {:.0} msg-hops)",
+        blended_cost,
+        thermal_cost.evaluate(&assignment),
+        comm.evaluate(&assignment)
+    );
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! # hotnoc — hotspot prevention through runtime reconfiguration in NoC
+//!
+//! Umbrella crate for the reproduction of *Link & Vijaykrishnan, "Hotspot
+//! Prevention Through Runtime Reconfiguration in Network-On-Chip", DATE
+//! 2005*. It re-exports the workspace crates:
+//!
+//! * [`noc`] — cycle-accurate 2-D mesh NoC simulator,
+//! * [`ldpc`] — the LDPC-decoder workload mapped onto the NoC,
+//! * [`thermal`] — HotSpot-style block RC thermal simulator,
+//! * [`power`] — activity-based 160 nm power models,
+//! * [`placement`] — thermally-aware static placement,
+//! * [`reconfig`] — migration transforms and the runtime reconfiguration
+//!   engine,
+//! * [`core`] — the co-simulation runtime and the paper's chip
+//!   configurations A–E.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hotnoc::core::configs::ChipConfigId;
+//! use hotnoc::core::experiment::quick_demo;
+//!
+//! // Run a short co-simulation of configuration A under rotation migration.
+//! let outcome = quick_demo(ChipConfigId::A)?;
+//! assert!(outcome.base_peak_celsius > 40.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
+//! the harnesses that regenerate every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+
+pub use hotnoc_core as core;
+pub use hotnoc_ldpc as ldpc;
+pub use hotnoc_noc as noc;
+pub use hotnoc_placement as placement;
+pub use hotnoc_power as power;
+pub use hotnoc_reconfig as reconfig;
+pub use hotnoc_thermal as thermal;

@@ -1,0 +1,142 @@
+//! End-to-end integration: the full paper pipeline at reduced fidelity,
+//! asserting the qualitative claims of §3 hold through the whole stack
+//! (workload -> activity -> power -> thermal -> migration).
+
+use hotnoc::core::chip::Chip;
+use hotnoc::core::configs::{ChipConfigId, ChipSpec, Fidelity};
+use hotnoc::core::cosim::{predicted_reduction, run_cosim, CosimParams};
+use hotnoc::reconfig::MigrationScheme;
+
+fn chip(id: ChipConfigId) -> (Chip, hotnoc::core::chip::CalibratedPower) {
+    let mut chip = Chip::build(ChipSpec::of(id, Fidelity::Quick)).expect("chip builds");
+    let cal = chip.calibrate().expect("calibration succeeds");
+    (chip, cal)
+}
+
+#[test]
+fn every_config_calibrates_to_its_figure1_base() {
+    for id in ChipConfigId::ALL {
+        let (chip, cal) = chip(id);
+        let temps = chip.steady_with_leakage(&cal.dynamic).expect("steady state");
+        let peak = temps.iter().cloned().fold(f64::MIN, f64::max);
+        let target = chip.spec().base_peak_celsius;
+        assert!(
+            (peak - target).abs() < 0.1,
+            "{id}: calibrated peak {peak:.2} vs target {target:.2}"
+        );
+    }
+}
+
+#[test]
+fn rotation_and_xy_mirror_lead_on_even_meshes() {
+    // §3: "For circuit configurations A and B, the rotational and X-Y
+    // mirroring migrations reduce the peak temperature the most."
+    for id in [ChipConfigId::A, ChipConfigId::B] {
+        let (chip, cal) = chip(id);
+        let pred = |s| predicted_reduction(&chip, &cal, s).expect("predict");
+        let rot = pred(MigrationScheme::Rotation);
+        let xym = pred(MigrationScheme::XYMirror);
+        let others = [
+            pred(MigrationScheme::XMirror),
+            pred(MigrationScheme::XTranslation { offset: 1 }),
+            pred(MigrationScheme::XYShift),
+        ];
+        for o in others {
+            assert!(rot > o, "{id}: rotation {rot:.2} not above {o:.2}");
+            assert!(xym > o - 1.5, "{id}: x-y mirror {xym:.2} too far below {o:.2}");
+        }
+    }
+}
+
+#[test]
+fn translation_leads_on_odd_meshes() {
+    // §3: "for the larger configurations, translation is more effective."
+    for id in [ChipConfigId::C, ChipConfigId::D, ChipConfigId::E] {
+        let (chip, cal) = chip(id);
+        let xys = predicted_reduction(&chip, &cal, MigrationScheme::XYShift).expect("predict");
+        for s in [
+            MigrationScheme::Rotation,
+            MigrationScheme::XMirror,
+            MigrationScheme::XYMirror,
+        ] {
+            let r = predicted_reduction(&chip, &cal, s).expect("predict");
+            assert!(xys > r, "{id}: X-Y shift {xys:.2} not above {s} {r:.2}");
+        }
+    }
+}
+
+#[test]
+fn rotation_cannot_cool_config_e_center() {
+    // §3: the hotspots of E are near the centre, which rotation fixes.
+    let (chip, cal) = chip(ChipConfigId::E);
+    let rot = predicted_reduction(&chip, &cal, MigrationScheme::Rotation).expect("predict");
+    assert!(
+        rot.abs() < 0.5,
+        "rotation should be ~useless on E's centre hotspot, got {rot:.2}"
+    );
+    let r = run_cosim(
+        &chip,
+        &cal,
+        Some(MigrationScheme::Rotation),
+        &CosimParams::quick(),
+    )
+    .expect("cosim");
+    assert!(
+        r.reduction < 0.5,
+        "with migration energy, rotation on E must not help: {:.2}",
+        r.reduction
+    );
+}
+
+#[test]
+fn warm_band_resists_right_shift_everywhere() {
+    // §3: "one of the rows had a significantly higher power output ...
+    // a warm band that right shifting alone is unable to distribute."
+    for id in ChipConfigId::ALL {
+        let (chip, cal) = chip(id);
+        let rs = predicted_reduction(&chip, &cal, MigrationScheme::XTranslation { offset: 1 })
+            .expect("predict");
+        let best = MigrationScheme::FIGURE1
+            .iter()
+            .map(|&s| predicted_reduction(&chip, &cal, s).expect("predict"))
+            .fold(f64::MIN, f64::max);
+        assert!(
+            rs < 0.62 * best,
+            "{id}: right shift {rs:.2} rivals the best scheme {best:.2}"
+        );
+    }
+}
+
+#[test]
+fn migration_throughput_penalty_shrinks_with_period() {
+    let (chip, cal) = chip(ChipConfigId::A);
+    let penalty = |blocks| {
+        let params = CosimParams {
+            period_blocks: blocks,
+            ..CosimParams::quick()
+        };
+        run_cosim(&chip, &cal, Some(MigrationScheme::XYShift), &params)
+            .expect("cosim")
+            .throughput_penalty
+    };
+    let p1 = penalty(24);
+    let p4 = penalty(96);
+    let p8 = penalty(192);
+    assert!(p1 > p4 && p4 > p8);
+    // Quadrupling the period cuts the penalty ~4x (stall is constant).
+    let ratio = p1 / p4;
+    assert!((2.5..4.5).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn migration_preserves_total_compute() {
+    // The permuted power maps used by the co-simulation conserve power.
+    let (chip, cal) = chip(ChipConfigId::B);
+    use hotnoc::reconfig::OrbitDecomposition;
+    for s in MigrationScheme::FIGURE1 {
+        let avg = OrbitDecomposition::new(s, chip.mesh()).time_averaged_power(&cal.dynamic);
+        let before: f64 = cal.dynamic.iter().sum();
+        let after: f64 = avg.iter().sum();
+        assert!((before - after).abs() < 1e-9, "{s} lost power");
+    }
+}

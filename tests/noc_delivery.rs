@@ -1,0 +1,85 @@
+//! Property-based integration tests of the cycle-accurate NoC: no loss, no
+//! duplication, bounded latency, conservation of flits — under randomized
+//! traffic on randomized mesh sizes.
+
+use hotnoc::noc::{Mesh, Network, NocConfig, Packet, PacketClass, TrafficGenerator, TrafficPattern};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_offered_packets_are_delivered(
+        side in 2usize..6,
+        rate in 0.01f64..0.15,
+        len in 1u32..8,
+        seed in 0u64..500,
+    ) {
+        let mesh = Mesh::square(side).unwrap();
+        let mut net = Network::new(mesh, NocConfig::default());
+        let mut gen = TrafficGenerator::new(mesh, TrafficPattern::UniformRandom, rate, len, seed);
+        let (offered, drained) = gen.run(&mut net, 1_000, 300_000);
+        prop_assert!(drained, "network failed to drain");
+        prop_assert_eq!(net.stats().packets_delivered, offered);
+        prop_assert_eq!(net.stats().flits_ejected, offered * len as u64);
+        prop_assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn buffer_reads_equal_writes_after_drain(
+        side in 2usize..6,
+        seed in 0u64..500,
+    ) {
+        let mesh = Mesh::square(side).unwrap();
+        let mut net = Network::new(mesh, NocConfig::default());
+        let mut gen = TrafficGenerator::new(mesh, TrafficPattern::Transpose, 0.08, 4, seed);
+        gen.run(&mut net, 500, 100_000);
+        let snap = net.snapshot();
+        let writes: u64 = snap.routers.iter().map(|r| r.buffer_writes).sum();
+        let reads: u64 = snap.routers.iter().map(|r| r.buffer_reads).sum();
+        prop_assert_eq!(writes, reads, "flits left buffered after drain");
+    }
+
+    #[test]
+    fn latency_at_least_distance(
+        sx in 0u8..4, sy in 0u8..4, dx in 0u8..4, dy in 0u8..4, len in 1u32..6,
+    ) {
+        prop_assume!((sx, sy) != (dx, dy));
+        let mesh = Mesh::square(4).unwrap();
+        let mut net = Network::new(mesh, NocConfig::default());
+        let src = mesh.node_id_at(sx, sy).unwrap();
+        let dst = mesh.node_id_at(dx, dy).unwrap();
+        net.inject(Packet::new(0, src, dst, PacketClass::Data, len)).unwrap();
+        net.run_until_idle(10_000).unwrap();
+        let rec = net.drain_delivered(dst);
+        prop_assert_eq!(rec.len(), 1);
+        let hops = mesh.coord(src).manhattan(mesh.coord(dst)) as u64;
+        // Each hop costs at least router + link cycles; serialization adds len.
+        prop_assert!(rec[0].latency() >= hops + len as u64);
+    }
+}
+
+#[test]
+fn saturating_hotspot_traffic_eventually_drains() {
+    let mesh = Mesh::square(4).unwrap();
+    let mut net = Network::new(mesh, NocConfig::default());
+    let hotspot = hotnoc::noc::Coord::new(2, 2);
+    let mut gen = TrafficGenerator::new(
+        mesh,
+        TrafficPattern::Hotspot {
+            nodes: vec![hotspot],
+            fraction: 0.9,
+        },
+        0.3,
+        4,
+        11,
+    );
+    for _ in 0..500 {
+        gen.tick(&mut net);
+        net.step();
+    }
+    // Even past saturation, stopping injection lets everything drain: the
+    // network is deadlock free under XY routing + credits + wormhole VCs.
+    net.run_until_idle(500_000).expect("deadlock-free drain");
+    assert_eq!(net.stats().packets_delivered, gen.generated());
+}
