@@ -50,7 +50,12 @@ fn print_overhead_ablation() {
             cycles_per_hop: 2,
             phase_overhead_cycles: overhead,
         };
-        let plan = MigrationPlan::plan(mesh, MigrationScheme::Rotation, &StateSpec::default(), &cost);
+        let plan = MigrationPlan::plan(
+            mesh,
+            MigrationScheme::Rotation,
+            &StateSpec::default(),
+            &cost,
+        );
         println!(
             "{:>16} {:>12} {:>14.2}",
             overhead,

@@ -7,7 +7,10 @@ use hotnoc_noc::{Mesh, Network, NocConfig, TrafficGenerator, TrafficPattern};
 
 fn latency_load_curve() {
     println!("\nUniform-random latency/load curve (4x4 mesh, 4-flit packets):");
-    println!("{:>12} {:>16} {:>14}", "inject rate", "mean latency", "delivered");
+    println!(
+        "{:>12} {:>16} {:>14}",
+        "inject rate", "mean latency", "delivered"
+    );
     for rate in [0.01, 0.05, 0.1, 0.2, 0.3] {
         let mesh = Mesh::square(4).expect("mesh");
         let mut net = Network::new(mesh, NocConfig::default());
@@ -38,8 +41,7 @@ fn bench_router(c: &mut Criterion) {
         group.bench_function(format!("{side}x{side}_loaded"), |b| {
             let mesh = Mesh::square(side).expect("mesh");
             let mut net = Network::new(mesh, NocConfig::default());
-            let mut gen =
-                TrafficGenerator::new(mesh, TrafficPattern::UniformRandom, 0.1, 4, 13);
+            let mut gen = TrafficGenerator::new(mesh, TrafficPattern::UniformRandom, 0.1, 4, 13);
             b.iter(|| {
                 for _ in 0..100 {
                     gen.tick(&mut net);

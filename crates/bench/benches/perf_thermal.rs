@@ -41,8 +41,7 @@ fn bench_thermal(c: &mut Criterion) {
         // 200 BE steps of 5 us = 1 ms of simulated time: the unit of work
         // the migration co-simulation performs per millisecond.
         b.iter(|| {
-            let mut sim =
-                TransientSim::new(&net5, 5e-6, Integrator::BackwardEuler).expect("sim");
+            let mut sim = TransientSim::new(&net5, 5e-6, Integrator::BackwardEuler).expect("sim");
             sim.init_from_steady(&power).expect("init");
             for _ in 0..200 {
                 sim.step(&power).expect("step");

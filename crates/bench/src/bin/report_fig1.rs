@@ -17,7 +17,11 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let predict_only = args.iter().any(|a| a == "--predict");
     let quick = args.iter().any(|a| a == "--quick");
-    let fidelity = if quick { Fidelity::Quick } else { Fidelity::Full };
+    let fidelity = if quick {
+        Fidelity::Quick
+    } else {
+        Fidelity::Full
+    };
 
     if predict_only {
         run_predictor(fidelity);

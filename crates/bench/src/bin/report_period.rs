@@ -30,9 +30,7 @@ fn main() {
     println!("{}", report::period_ascii(&table));
     if table.rows.len() == 3 {
         let rise = table.rows[1].peak - table.rows[0].peak;
-        println!(
-            "Peak rise from 1-block to 4-block period: {rise:.3} C (paper: < 0.1 C)"
-        );
+        println!("Peak rise from 1-block to 4-block period: {rise:.3} C (paper: < 0.1 C)");
         let rise8 = table.rows[2].peak - table.rows[0].peak;
         println!(
             "Peak rise from 1-block to 8-block period: {rise8:.3} C (paper: no significant impact)"

@@ -7,7 +7,10 @@ use hotnoc_reconfig::{MigrationScheme, MigrationUnit, OrbitDecomposition};
 
 fn main() {
     println!("Table 1. Transformation Functions");
-    println!("{:<16}{:<18}{:<18}", "", "New X Coordinate", "New Y Coordinate");
+    println!(
+        "{:<16}{:<18}{:<18}",
+        "", "New X Coordinate", "New Y Coordinate"
+    );
     for scheme in [
         MigrationScheme::Rotation,
         MigrationScheme::XMirror,

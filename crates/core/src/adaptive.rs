@@ -61,18 +61,21 @@ pub fn pick_scheme(
         if !scheme.is_applicable(mesh) {
             continue;
         }
-        let averaged =
-            OrbitDecomposition::new(scheme, mesh).time_averaged_power(current_power);
+        let averaged = OrbitDecomposition::new(scheme, mesh).time_averaged_power(current_power);
         let temps = chip.steady_with_leakage(&averaged)?;
         let peak = temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         // Energy tie-breaker: one migration's energy spread over a period,
         // expressed as an equivalent temperature penalty through the
         // package's shared resistance (~0.5 K/W effective).
-        let plan = MigrationPlan::plan(mesh, scheme, &StateSpec::default(), &PhaseCostModel::default());
+        let plan = MigrationPlan::plan(
+            mesh,
+            scheme,
+            &StateSpec::default(),
+            &PhaseCostModel::default(),
+        );
         let stall_s = plan.total_cycles() as f64 / chip.noc_config().clock_hz;
         let energy = plan.total_flit_hops() as f64 * params.e_flit_hop
-            + plan.per_tile_endpoint_flits(mesh).iter().sum::<u64>() as f64
-                * params.e_convert_flit
+            + plan.per_tile_endpoint_flits(mesh).iter().sum::<u64>() as f64 * params.e_convert_flit
             + stall_s * params.stall_power_fraction * current_power.iter().sum::<f64>();
         let period_s = 100e-6; // nominal period for the tie-break weight
         let penalty_c = 0.5 * energy / (period_s + stall_s);
@@ -112,7 +115,11 @@ pub fn run_adaptive_cosim(
     let mut sim = TransientSim::new(chip.thermal(), params.dt, Integrator::BackwardEuler)?;
     sim.init_from_steady(&{
         let leak = leakage::leakage_per_block(&areas, &base_temps, chip.tech());
-        current.iter().zip(&leak).map(|(d, l)| d + l).collect::<Vec<f64>>()
+        current
+            .iter()
+            .zip(&leak)
+            .map(|(d, l)| d + l)
+            .collect::<Vec<f64>>()
     })?;
 
     let frames = (params.sim_time / params.dt).round() as usize;
@@ -132,10 +139,10 @@ pub fn run_adaptive_cosim(
             schedule.push(scheme);
             // Apply: workload at tile t moves to scheme(t).
             let mut next = vec![0.0; n];
-            for tile in 0..n {
+            for (tile, &cur) in current.iter().enumerate() {
                 let c = mesh.coord(hotnoc_noc::NodeId::new(tile as u16));
                 let dst = scheme.apply(c, mesh);
-                next[mesh.node_id(dst).expect("on mesh").index()] = current[tile];
+                next[mesh.node_id(dst).expect("on mesh").index()] = cur;
             }
             current = next;
             let plan = MigrationPlan::plan(
@@ -235,6 +242,9 @@ mod tests {
         let params = CosimParams::quick();
         let a = run_adaptive_cosim(&chip, &cal, &params).unwrap();
         let b = run_adaptive_cosim(&chip, &cal, &params).unwrap();
-        assert_eq!(a.schedule, b.schedule, "adaptive policy must be deterministic");
+        assert_eq!(
+            a.schedule, b.schedule,
+            "adaptive policy must be deterministic"
+        );
     }
 }

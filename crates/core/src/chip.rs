@@ -120,7 +120,7 @@ impl Chip {
         // Raw per-tile dynamic power over the block window.
         let n = self.spec.n_tiles();
         let mut raw = vec![0.0f64; n];
-        for tile in 0..n {
+        for (tile, slot) in raw.iter_mut().enumerate() {
             let r = run.activity.routers[tile];
             let act = TileActivity {
                 buffer_writes: r.buffer_writes,
@@ -131,7 +131,7 @@ impl Chip {
                 bit_transitions: r.bit_transitions,
                 pe_ops: run.ops_per_node[tile],
             };
-            raw[tile] = router_power::router_dynamic_power(&act, run.cycles, &self.tech)
+            *slot = router_power::router_dynamic_power(&act, run.cycles, &self.tech)
                 + pe_power::pe_dynamic_power(act.pe_ops, run.cycles, &self.tech);
         }
 
@@ -180,8 +180,16 @@ impl Chip {
             Ok(temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
         };
         let amb = self.thermal.ambient();
-        let peak1 = self.thermal.steady_state(raw)?.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        if !(peak1 > amb) || !(target > amb) {
+        let peak1 = self
+            .thermal
+            .steady_state(raw)?
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        // NaN peaks must land in the error arm, hence the negated > rather
+        // than <=.
+        let bracket_ok = peak1 > amb && target > amb;
+        if !bracket_ok {
             return Err(CoreError::CalibrationFailed {
                 target,
                 achieved: peak1,

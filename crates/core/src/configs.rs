@@ -224,7 +224,7 @@ mod tests {
             let spec = ChipSpec::of(id, Fidelity::Full);
             assert_eq!(spec.tile_weights.len(), spec.n_tiles());
             assert!(spec.tile_weights.iter().all(|&w| w > 0.0));
-            assert!(spec.code_n % spec.wr == 0);
+            assert!(spec.code_n.is_multiple_of(spec.wr));
             assert!(spec.base_peak_celsius > 70.0 && spec.base_peak_celsius < 90.0);
         }
     }

@@ -144,7 +144,12 @@ pub fn run_cosim(
     };
 
     let mesh = chip.mesh();
-    let plan = MigrationPlan::plan(mesh, scheme, &StateSpec::default(), &PhaseCostModel::default());
+    let plan = MigrationPlan::plan(
+        mesh,
+        scheme,
+        &StateSpec::default(),
+        &PhaseCostModel::default(),
+    );
     let stall_s = plan.total_cycles() as f64 / clock;
     let period_s = cal.block_seconds * params.period_blocks as f64;
     let super_s = period_s + stall_s;
@@ -201,13 +206,15 @@ pub fn run_cosim(
         .dynamic
         .iter()
         .zip(&per_tile_transfer)
-        .map(|(p, t)| {
-            (p * (period_s + params.stall_power_fraction * stall_s) + t) / super_s
-        })
+        .map(|(p, t)| (p * (period_s + params.stall_power_fraction * stall_s) + t) / super_s)
         .collect();
     let init_temps = chip.steady_with_leakage(&init_dyn)?;
     let init_leak = leakage::leakage_per_block(&areas, &init_temps, chip.tech());
-    let init_total: Vec<f64> = init_dyn.iter().zip(&init_leak).map(|(d, l)| d + l).collect();
+    let init_total: Vec<f64> = init_dyn
+        .iter()
+        .zip(&init_leak)
+        .map(|(d, l)| d + l)
+        .collect();
 
     let mut sim = TransientSim::new(chip.thermal(), params.dt, Integrator::BackwardEuler)?;
     sim.init_from_steady(&init_total)?;
@@ -382,8 +389,8 @@ mod tests {
     #[test]
     fn right_shift_weak_on_warm_band() {
         let (chip, cal) = chip_and_cal(ChipConfigId::A);
-        let rs = predicted_reduction(&chip, &cal, MigrationScheme::XTranslation { offset: 1 })
-            .unwrap();
+        let rs =
+            predicted_reduction(&chip, &cal, MigrationScheme::XTranslation { offset: 1 }).unwrap();
         let xys = predicted_reduction(&chip, &cal, MigrationScheme::XYShift).unwrap();
         assert!(
             rs < xys,

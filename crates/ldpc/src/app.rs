@@ -13,7 +13,7 @@ use crate::code::LdpcCode;
 use crate::error::LdpcError;
 use crate::mapping::ClusterMapping;
 use crate::schedule::{phase_traffic, IterPhase, MessageParams, PhaseTraffic};
-use hotnoc_noc::{ActivitySnapshot, Network, NocError, Packet, PacketClass, NodeId};
+use hotnoc_noc::{ActivitySnapshot, Network, NocError, NodeId, Packet, PacketClass};
 use serde::{Deserialize, Serialize};
 
 /// Compute-model parameters of a PE.
@@ -117,7 +117,11 @@ impl LdpcNocApp {
     ///
     /// Panics if the length differs from the cluster count.
     pub fn set_placement(&mut self, placement: Vec<NodeId>) {
-        assert_eq!(placement.len(), self.mapping.n_clusters(), "placement length");
+        assert_eq!(
+            placement.len(),
+            self.mapping.n_clusters(),
+            "placement length"
+        );
         self.placement = placement;
     }
 
@@ -128,13 +132,27 @@ impl LdpcNocApp {
     ///
     /// Returns [`NocError::Timeout`] if a phase fails to drain (indicating a
     /// saturated or misconfigured network).
-    pub fn run_block(&mut self, net: &mut Network, iterations: usize) -> Result<BlockRun, NocError> {
+    pub fn run_block(
+        &mut self,
+        net: &mut Network,
+        iterations: usize,
+    ) -> Result<BlockRun, NocError> {
         let start_cycle = net.cycle();
         let start_snapshot = net.snapshot();
         let start_delivered = net.stats().packets_delivered;
 
-        let v2c = phase_traffic(&self.mapping, &self.code, IterPhase::VarToCheck, &self.params);
-        let c2v = phase_traffic(&self.mapping, &self.code, IterPhase::CheckToVar, &self.params);
+        let v2c = phase_traffic(
+            &self.mapping,
+            &self.code,
+            IterPhase::VarToCheck,
+            &self.params,
+        );
+        let c2v = phase_traffic(
+            &self.mapping,
+            &self.code,
+            IterPhase::CheckToVar,
+            &self.params,
+        );
         let var_ops = self.mapping.var_ops_per_cluster(&self.code);
         let chk_ops = self.mapping.chk_ops_per_cluster(&self.code);
 
@@ -145,8 +163,7 @@ impl LdpcNocApp {
 
         let mut ops_per_node = vec![0u64; net.mesh().len()];
         for (cluster, node) in self.placement.iter().enumerate() {
-            ops_per_node[node.index()] =
-                (var_ops[cluster] + chk_ops[cluster]) * iterations as u64;
+            ops_per_node[node.index()] = (var_ops[cluster] + chk_ops[cluster]) * iterations as u64;
         }
 
         let end_snapshot = net.snapshot();

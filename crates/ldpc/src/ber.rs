@@ -60,12 +60,7 @@ where
             let llrs = chan.transmit(&word);
             let out = decode(code, &llrs);
             iterations += out.iterations;
-            let errs = out
-                .bits
-                .iter()
-                .zip(&word)
-                .filter(|(a, b)| a != b)
-                .count();
+            let errs = out.bits.iter().zip(&word).filter(|(a, b)| a != b).count();
             if errs > 0 || !out.converged {
                 frame_errors += 1;
                 bit_errors += errs;
@@ -100,7 +95,11 @@ mod tests {
             points[0].fer,
             points[1].fer
         );
-        assert!(points[1].fer < 0.2, "high-SNR FER too high: {}", points[1].fer);
+        assert!(
+            points[1].fer < 0.2,
+            "high-SNR FER too high: {}",
+            points[1].fer
+        );
         assert!(points[1].mean_iterations <= points[0].mean_iterations);
     }
 

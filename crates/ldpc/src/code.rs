@@ -32,7 +32,7 @@ impl LdpcCode {
     /// Returns [`LdpcError::InvalidCodeParams`] unless `wr` divides `n * wc`
     /// and `n` is a multiple of `wr` with `0 < wc < wr <= n`.
     pub fn gallager(n: usize, wc: usize, wr: usize, seed: u64) -> Result<Self, LdpcError> {
-        if wc == 0 || wr == 0 || wc >= wr || wr > n || n % wr != 0 {
+        if wc == 0 || wr == 0 || wc >= wr || wr > n || !n.is_multiple_of(wr) {
             return Err(LdpcError::InvalidCodeParams { n, wc, wr });
         }
         let checks_per_strip = n / wr;
@@ -139,7 +139,7 @@ mod tests {
     #[test]
     fn zero_word_is_codeword() {
         let code = LdpcCode::gallager(60, 3, 6, 2).unwrap();
-        assert!(code.is_codeword(&vec![false; 60]));
+        assert!(code.is_codeword(&[false; 60]));
         // A single flipped bit violates wc checks.
         let mut w = vec![false; 60];
         w[7] = true;

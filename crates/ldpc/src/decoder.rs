@@ -128,7 +128,7 @@ fn sum_product_check(inputs: &[f64], out: &mut [f64]) {
     // Guard tanh against saturation.
     let clamp = |x: f64| x.clamp(-30.0, 30.0);
     let tanhs: Vec<f64> = inputs.iter().map(|&v| (clamp(v) / 2.0).tanh()).collect();
-    for i in 0..inputs.len() {
+    for (i, o) in out.iter_mut().enumerate() {
         let mut prod = 1.0;
         for (j, &t) in tanhs.iter().enumerate() {
             if j != i {
@@ -136,7 +136,7 @@ fn sum_product_check(inputs: &[f64], out: &mut [f64]) {
             }
         }
         let prod = prod.clamp(-0.999_999_999, 0.999_999_999);
-        out[i] = 2.0 * prod.atanh();
+        *o = 2.0 * prod.atanh();
     }
 }
 
@@ -157,9 +157,7 @@ where
     }
     let m = code.m();
     // Per-edge storage keyed by (check, position-in-row).
-    let mut chk_to_var: Vec<Vec<f64>> = (0..m)
-        .map(|r| vec![0.0; code.h().row(r).len()])
-        .collect();
+    let mut chk_to_var: Vec<Vec<f64>> = (0..m).map(|r| vec![0.0; code.h().row(r).len()]).collect();
     let mut var_to_chk: Vec<Vec<f64>> = chk_to_var.clone();
     let mut posterior: Vec<f64> = llrs.to_vec();
     let mut bits: Vec<bool> = llrs.iter().map(|&l| l < 0.0).collect();
@@ -177,16 +175,16 @@ where
         }
         // Check-to-variable phase.
         let mut scratch = Vec::new();
-        for r in 0..m {
+        for (vt, ct) in var_to_chk.iter().zip(chk_to_var.iter_mut()) {
             scratch.clear();
-            scratch.extend_from_slice(&var_to_chk[r]);
-            check_update(&scratch, &mut chk_to_var[r]);
+            scratch.extend_from_slice(vt);
+            check_update(&scratch, ct);
         }
         // Posterior accumulation.
         posterior.copy_from_slice(llrs);
-        for r in 0..m {
+        for (r, ct) in chk_to_var.iter().enumerate() {
             for (k, &v) in code.h().row(r).iter().enumerate() {
-                posterior[v] += chk_to_var[r][k];
+                posterior[v] += ct[k];
             }
         }
         for (b, &p) in bits.iter_mut().zip(&posterior) {
@@ -242,7 +240,10 @@ mod tests {
                 successes += 1;
             }
         }
-        assert!(successes >= trials * 8 / 10, "only {successes}/{trials} decoded");
+        assert!(
+            successes >= trials * 8 / 10,
+            "only {successes}/{trials} decoded"
+        );
     }
 
     #[test]
@@ -266,7 +267,10 @@ mod tests {
                 sp_ok += 1;
             }
         }
-        assert!(sp_ok + 2 >= ms_ok, "sum-product unexpectedly weak: {sp_ok} vs {ms_ok}");
+        assert!(
+            sp_ok + 2 >= ms_ok,
+            "sum-product unexpectedly weak: {sp_ok} vs {ms_ok}"
+        );
     }
 
     #[test]

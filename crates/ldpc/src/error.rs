@@ -52,7 +52,10 @@ impl fmt::Display for LdpcError {
                 write!(f, "message has {got} bits, code dimension is {expected}")
             }
             LdpcError::LlrLengthMismatch { expected, got } => {
-                write!(f, "llr vector has {got} entries, block length is {expected}")
+                write!(
+                    f,
+                    "llr vector has {got} entries, block length is {expected}"
+                )
             }
             LdpcError::InvalidClusterCount { clusters } => {
                 write!(f, "cannot partition code into {clusters} clusters")
@@ -71,9 +74,19 @@ mod tests {
     #[test]
     fn display_nonempty() {
         let errs = [
-            LdpcError::InvalidCodeParams { n: 10, wc: 3, wr: 7 },
-            LdpcError::MessageLengthMismatch { expected: 5, got: 4 },
-            LdpcError::LlrLengthMismatch { expected: 8, got: 2 },
+            LdpcError::InvalidCodeParams {
+                n: 10,
+                wc: 3,
+                wr: 7,
+            },
+            LdpcError::MessageLengthMismatch {
+                expected: 5,
+                got: 4,
+            },
+            LdpcError::LlrLengthMismatch {
+                expected: 8,
+                got: 2,
+            },
             LdpcError::InvalidClusterCount { clusters: 0 },
             LdpcError::InvalidWeights,
         ];

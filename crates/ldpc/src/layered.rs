@@ -53,9 +53,8 @@ impl LayeredMinSumDecoder {
             });
         }
         let m = code.m();
-        let mut chk_msgs: Vec<Vec<f64>> = (0..m)
-            .map(|r| vec![0.0; code.h().row(r).len()])
-            .collect();
+        let mut chk_msgs: Vec<Vec<f64>> =
+            (0..m).map(|r| vec![0.0; code.h().row(r).len()]).collect();
         let mut posterior: Vec<f64> = llrs.to_vec();
         let mut bits: Vec<bool> = llrs.iter().map(|&l| l < 0.0).collect();
         let mut converged = code.is_codeword(&bits);
@@ -64,12 +63,12 @@ impl LayeredMinSumDecoder {
         let mut extrinsic: Vec<f64> = Vec::new();
         while !converged && iterations < self.max_iters {
             iterations += 1;
-            for r in 0..m {
+            for (r, msgs) in chk_msgs.iter_mut().enumerate() {
                 let row = code.h().row(r);
                 extrinsic.clear();
                 // Peel off this check's previous contribution.
                 for (k, &v) in row.iter().enumerate() {
-                    extrinsic.push(posterior[v] - chk_msgs[r][k]);
+                    extrinsic.push(posterior[v] - msgs[k]);
                 }
                 // Min-sum over the live extrinsics.
                 let (mut min1, mut min2) = (f64::INFINITY, f64::INFINITY);
@@ -94,7 +93,7 @@ impl LayeredMinSumDecoder {
                     let mag = if k == min_idx { min2 } else { min1 };
                     let self_sign = if extrinsic[k] < 0.0 { -1.0 } else { 1.0 };
                     let msg = self.alpha * sign * self_sign * mag;
-                    chk_msgs[r][k] = msg;
+                    msgs[k] = msg;
                     posterior[v] = extrinsic[k] + msg;
                 }
             }
@@ -182,6 +181,8 @@ mod tests {
     #[test]
     fn wrong_length_rejected() {
         let c = code();
-        assert!(LayeredMinSumDecoder::default().try_decode(&c, &[0.0]).is_err());
+        assert!(LayeredMinSumDecoder::default()
+            .try_decode(&c, &[0.0])
+            .is_err());
     }
 }

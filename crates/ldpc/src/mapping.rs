@@ -55,7 +55,7 @@ impl ClusterMapping {
         let expand = |counts: &[usize]| {
             let mut v = Vec::new();
             for (cluster, &count) in counts.iter().enumerate() {
-                v.extend(std::iter::repeat(cluster).take(count));
+                v.extend(std::iter::repeat_n(cluster, count));
             }
             v
         };
@@ -183,7 +183,10 @@ mod tests {
             .map(|cl| m.var_cluster().iter().filter(|&&x| x == cl).count())
             .collect();
         assert_eq!(counts.iter().sum::<usize>(), 240);
-        assert!(counts[3] > 2 * counts[0], "heavy cluster not heavy: {counts:?}");
+        assert!(
+            counts[3] > 2 * counts[0],
+            "heavy cluster not heavy: {counts:?}"
+        );
         assert!(counts.iter().all(|&x| x >= 1));
     }
 
@@ -196,9 +199,13 @@ mod tests {
         let ops = m.ops_per_cluster(&c);
         let total: u64 = ops.iter().sum();
         assert_eq!(total, 2 * c.edges() as u64);
-        let mean_other: f64 =
-            ops.iter().enumerate().filter(|(i, _)| *i != 5).map(|(_, &o)| o as f64).sum::<f64>()
-                / 15.0;
+        let mean_other: f64 = ops
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 5)
+            .map(|(_, &o)| o as f64)
+            .sum::<f64>()
+            / 15.0;
         assert!(ops[5] as f64 > 1.8 * mean_other, "ops {ops:?}");
     }
 

@@ -96,17 +96,16 @@ pub fn phase_traffic(
 ) -> PhaseTraffic {
     assert!(params.flit_bits > 0 && params.max_packet_flits > 0 && params.bits_per_message > 0);
     let t = mapping.traffic_matrix(code);
-    let k = mapping.n_clusters();
     let mut transfers = Vec::new();
-    for src in 0..k {
-        for dst in 0..k {
+    for (src, row) in t.iter().enumerate() {
+        for (dst, &forward) in row.iter().enumerate() {
             if src == dst {
                 continue;
             }
             // Var->check sends along t[src][dst]; check->var along t[dst][src]
             // but from the *check* cluster's point of view, so we swap roles.
             let messages = match phase {
-                IterPhase::VarToCheck => t[src][dst],
+                IterPhase::VarToCheck => forward,
                 IterPhase::CheckToVar => t[dst][src],
             };
             if messages == 0 {
@@ -184,7 +183,12 @@ mod tests {
     #[test]
     fn no_self_transfers() {
         let (code, mapping) = setup();
-        let tr = phase_traffic(&mapping, &code, IterPhase::VarToCheck, &MessageParams::default());
+        let tr = phase_traffic(
+            &mapping,
+            &code,
+            IterPhase::VarToCheck,
+            &MessageParams::default(),
+        );
         assert!(tr.transfers.iter().all(|t| t.src_cluster != t.dst_cluster));
     }
 

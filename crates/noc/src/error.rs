@@ -52,16 +52,16 @@ impl fmt::Display for NocError {
                 coord,
                 width,
                 height,
-            } => write!(
-                f,
-                "coordinate {coord} outside {width}x{height} mesh bounds"
-            ),
+            } => write!(f, "coordinate {coord} outside {width}x{height} mesh bounds"),
             NocError::InvalidMeshDimension { dim } => {
                 write!(f, "invalid mesh dimension {dim} (must be 1..=64)")
             }
             NocError::EmptyPacket => write!(f, "packet must contain at least one flit"),
             NocError::InvalidVirtualChannel { vc, num_vcs } => {
-                write!(f, "virtual channel {vc} out of range (configured {num_vcs})")
+                write!(
+                    f,
+                    "virtual channel {vc} out of range (configured {num_vcs})"
+                )
             }
             NocError::Timeout { budget, in_flight } => write!(
                 f,
@@ -93,7 +93,9 @@ mod tests {
                 budget: 100,
                 in_flight: 7,
             },
-            NocError::InvalidConfig { what: "buffer depth" },
+            NocError::InvalidConfig {
+                what: "buffer depth",
+            },
         ];
         for e in errors {
             let msg = e.to_string();

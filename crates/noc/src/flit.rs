@@ -204,7 +204,12 @@ mod tests {
         let kinds: Vec<FlitKind> = flits.iter().map(Flit::kind).collect();
         assert_eq!(
             kinds,
-            vec![FlitKind::Head, FlitKind::Body, FlitKind::Body, FlitKind::Tail]
+            vec![
+                FlitKind::Head,
+                FlitKind::Body,
+                FlitKind::Body,
+                FlitKind::Tail
+            ]
         );
         assert!(flits.iter().all(|f| f.inject_cycle == 7));
         assert!(flits.iter().all(|f| f.len == 4));

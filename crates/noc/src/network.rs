@@ -98,7 +98,9 @@ impl Network {
             mesh,
             routing,
             routers,
-            links: (0..n).map(|_| std::array::from_fn(|_| VecDeque::new())).collect(),
+            links: (0..n)
+                .map(|_| std::array::from_fn(|_| VecDeque::new()))
+                .collect(),
             nics: (0..n).map(|_| Nic::default()).collect(),
             delivered: (0..n).map(|_| Vec::new()).collect(),
             cycle: 0,
@@ -189,7 +191,10 @@ impl Network {
                 let physical = self.mesh.coord(delivered.src);
                 let logical = map.physical_to_logical(physical);
                 DeliveredPacket {
-                    src: self.mesh.node_id(logical).expect("address map is a bijection"),
+                    src: self
+                        .mesh
+                        .node_id(logical)
+                        .expect("address map is a bijection"),
                     ..delivered
                 }
             }
@@ -285,7 +290,9 @@ impl Network {
                     if !matches!(ivc.state, VcState::Idle) {
                         continue;
                     }
-                    let Some(front) = ivc.buf.front() else { continue };
+                    let Some(front) = ivc.buf.front() else {
+                        continue;
+                    };
                     if front.is_head() {
                         let dst = self.mesh.coord(front.dst);
                         let out_dir = self.routing.next_hop(coord, dst);
@@ -383,8 +390,11 @@ impl Network {
                         .mesh
                         .neighbor(coord, in_dir)
                         .expect("flit arrived from a mesh neighbor");
-                    let upstream_id =
-                        self.mesh.node_id(upstream).expect("neighbor inside mesh").index();
+                    let upstream_id = self
+                        .mesh
+                        .node_id(upstream)
+                        .expect("neighbor inside mesh")
+                        .index();
                     credit_events.push(CreditEvent {
                         router: upstream_id,
                         out_port: in_dir.opposite().index(),
@@ -519,7 +529,11 @@ mod tests {
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].src, p.src);
         // 6 hops, 4 flits, ~2 cycles per hop + serialization.
-        assert!(recs[0].latency() >= 10 && recs[0].latency() <= 40, "latency {}", recs[0].latency());
+        assert!(
+            recs[0].latency() >= 10 && recs[0].latency() <= 40,
+            "latency {}",
+            recs[0].latency()
+        );
     }
 
     #[test]
@@ -537,7 +551,8 @@ mod tests {
         for src in mesh.iter_nodes() {
             for dst in mesh.iter_nodes() {
                 if src != dst {
-                    net.inject(Packet::new(id, src, dst, PacketClass::Data, 3)).unwrap();
+                    net.inject(Packet::new(id, src, dst, PacketClass::Data, 3))
+                        .unwrap();
                     id += 1;
                 }
             }
@@ -562,7 +577,10 @@ mod tests {
     fn out_of_mesh_node_rejected() {
         let mut net = mk_net(3);
         let p = Packet::new(0, NodeId::new(0), NodeId::new(99), PacketClass::Data, 1);
-        assert!(matches!(net.inject(p), Err(NocError::CoordOutOfBounds { .. })));
+        assert!(matches!(
+            net.inject(p),
+            Err(NocError::CoordOutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -595,11 +613,13 @@ mod tests {
             for y in 0..4u8 {
                 let src = mesh.node_id_at(0, y).unwrap();
                 let dst = mesh.node_id_at(3, 3 - y).unwrap();
-                net.inject(Packet::new(id, src, dst, PacketClass::Data, 8)).unwrap();
+                net.inject(Packet::new(id, src, dst, PacketClass::Data, 8))
+                    .unwrap();
                 id += 1;
                 let src2 = mesh.node_id_at(3 - y, 0).unwrap();
                 let dst2 = mesh.node_id_at(y, 3).unwrap();
-                net.inject(Packet::new(id, src2, dst2, PacketClass::Data, 8)).unwrap();
+                net.inject(Packet::new(id, src2, dst2, PacketClass::Data, 8))
+                    .unwrap();
                 id += 1;
             }
             let _ = rep;
@@ -673,8 +693,10 @@ mod tests {
         let mut net = mk_net(4);
         let src = net.mesh().node_id_at(0, 0).unwrap();
         let dst = net.mesh().node_id_at(3, 0).unwrap();
-        net.inject(Packet::new(0, src, dst, PacketClass::Data, 4)).unwrap();
-        net.inject(Packet::new(1, src, dst, PacketClass::State, 4)).unwrap();
+        net.inject(Packet::new(0, src, dst, PacketClass::Data, 4))
+            .unwrap();
+        net.inject(Packet::new(1, src, dst, PacketClass::State, 4))
+            .unwrap();
         net.run_until_idle(1_000).unwrap();
         assert_eq!(net.stats().packets_delivered, 2);
     }

@@ -85,7 +85,9 @@ impl Router {
     pub(crate) fn new(coord: Coord, cfg: &NocConfig) -> Self {
         let inputs = (0..5)
             .map(|_| InputPort {
-                vcs: (0..cfg.num_vcs).map(|_| InputVc::new(cfg.buffer_depth)).collect(),
+                vcs: (0..cfg.num_vcs)
+                    .map(|_| InputVc::new(cfg.buffer_depth))
+                    .collect(),
             })
             .collect();
         let outputs = (0..5)

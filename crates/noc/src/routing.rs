@@ -312,8 +312,7 @@ mod tests {
         use crate::network::Network;
         use crate::traffic::{TrafficGenerator, TrafficPattern};
         let mesh = Mesh::square(4).unwrap();
-        let mut net =
-            Network::try_new(mesh, NocConfig::default(), RoutingKind::WestFirst).unwrap();
+        let mut net = Network::try_new(mesh, NocConfig::default(), RoutingKind::WestFirst).unwrap();
         let mut gen = TrafficGenerator::new(mesh, TrafficPattern::UniformRandom, 0.08, 4, 5);
         let (offered, drained) = gen.run(&mut net, 2_000, 200_000);
         assert!(drained, "west-first deadlocked or lost flits");

@@ -45,10 +45,7 @@ impl TrafficPattern {
                     return d;
                 }
             },
-            TrafficPattern::Transpose => {
-                let d = Coord::new(src.y.min(w - 1), src.x.min(h - 1));
-                d
-            }
+            TrafficPattern::Transpose => Coord::new(src.y.min(w - 1), src.x.min(h - 1)),
             TrafficPattern::BitComplement => Coord::new(w - 1 - src.x, h - 1 - src.y),
             TrafficPattern::Tornado => Coord::new((src.x + w / 2) % w, src.y),
             TrafficPattern::Neighbor => Coord::new((src.x + 1) % w, src.y),
@@ -113,7 +110,13 @@ impl TrafficGenerator {
             }
             let src_id: NodeId = self.mesh.node_id(src).expect("src in mesh");
             let dst_id: NodeId = self.mesh.node_id(dst).expect("dst in mesh");
-            let p = Packet::new(self.next_id, src_id, dst_id, PacketClass::Data, self.packet_len);
+            let p = Packet::new(
+                self.next_id,
+                src_id,
+                dst_id,
+                PacketClass::Data,
+                self.packet_len,
+            );
             self.next_id += 1;
             net.inject(p).expect("generated packet is valid");
             injected += 1;
@@ -176,7 +179,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for src in m.iter_coords() {
             for _ in 0..50 {
-                assert_ne!(TrafficPattern::UniformRandom.destination(m, src, &mut rng), src);
+                assert_ne!(
+                    TrafficPattern::UniformRandom.destination(m, src, &mut rng),
+                    src
+                );
             }
         }
     }

@@ -25,7 +25,7 @@ impl Default for Annealer {
             iters: 4_000,
             t0: 5.0,
             t_end: 0.01,
-            seed: 0xDA7E_05,
+            seed: 0x00DA_7E05,
         }
     }
 }

@@ -26,7 +26,10 @@ impl<'a> CommCost<'a> {
     /// Panics if the matrix is not square or exceeds the mesh size.
     pub fn new(mesh: Mesh, traffic: &'a [Vec<u64>]) -> Self {
         let k = traffic.len();
-        assert!(traffic.iter().all(|row| row.len() == k), "matrix not square");
+        assert!(
+            traffic.iter().all(|row| row.len() == k),
+            "matrix not square"
+        );
         assert!(k <= mesh.len(), "more clusters than tiles");
         CommCost { mesh, traffic }
     }

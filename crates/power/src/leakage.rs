@@ -11,9 +11,7 @@ use crate::tech::TechParams;
 /// Leakage power of a block of `area_mm2` at junction temperature
 /// `temp_c`, in watts.
 pub fn leakage_power(area_mm2: f64, temp_c: f64, tech: &TechParams) -> f64 {
-    area_mm2
-        * tech.leak_density_ref
-        * (tech.leak_temp_coeff * (temp_c - tech.leak_t_ref)).exp()
+    area_mm2 * tech.leak_density_ref * (tech.leak_temp_coeff * (temp_c - tech.leak_t_ref)).exp()
 }
 
 /// One sweep of the leakage/temperature fixed point: given block

@@ -14,17 +14,15 @@ fn activity_strategy() -> impl Strategy<Value = TileActivity> {
         0u64..10_000_000,
         0u64..1_000_000,
     )
-        .prop_map(
-            |(bw, br, xb, arb, lf, bt, ops)| TileActivity {
-                buffer_writes: bw,
-                buffer_reads: br,
-                xbar_traversals: xb,
-                arbitrations: arb,
-                link_flits: lf,
-                bit_transitions: bt,
-                pe_ops: ops,
-            },
-        )
+        .prop_map(|(bw, br, xb, arb, lf, bt, ops)| TileActivity {
+            buffer_writes: bw,
+            buffer_reads: br,
+            xbar_traversals: xb,
+            arbitrations: arb,
+            link_flits: lf,
+            bit_transitions: bt,
+            pe_ops: ops,
+        })
 }
 
 proptest! {

@@ -93,7 +93,7 @@ impl ReconfigController {
     /// if this block completes a period.
     pub fn on_block_complete(&mut self) -> Option<MigrationEvent> {
         self.blocks_done += 1;
-        if self.blocks_done % self.period_blocks != 0 {
+        if !self.blocks_done.is_multiple_of(self.period_blocks) {
             return None;
         }
         self.map.apply_scheme(self.scheme);

@@ -54,7 +54,11 @@ impl CumulativeMap {
         for phys in self.log2phys.iter_mut() {
             let c = self.mesh.coord(hotnoc_noc::NodeId::new(*phys));
             let moved = scheme.apply(c, self.mesh);
-            *phys = self.mesh.node_id(moved).expect("transform stays on mesh").index() as u16;
+            *phys = self
+                .mesh
+                .node_id(moved)
+                .expect("transform stays on mesh")
+                .index() as u16;
         }
         for (l, &p) in self.log2phys.iter().enumerate() {
             self.phys2log[p as usize] = l as u16;
@@ -70,7 +74,10 @@ impl CumulativeMap {
     /// `true` if the map is currently the identity (e.g. after `order`
     /// applications of a scheme).
     pub fn is_identity(&self) -> bool {
-        self.log2phys.iter().enumerate().all(|(i, &p)| i == p as usize)
+        self.log2phys
+            .iter()
+            .enumerate()
+            .all(|(i, &p)| i == p as usize)
     }
 }
 

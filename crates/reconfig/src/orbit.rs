@@ -242,7 +242,10 @@ mod tests {
         power[center] = 5.0;
         let rot = OrbitDecomposition::new(MigrationScheme::Rotation, mesh);
         let avg = rot.time_averaged_power(&power);
-        assert!((avg[center] - 5.0).abs() < 1e-12, "rotation moved the centre");
+        assert!(
+            (avg[center] - 5.0).abs() < 1e-12,
+            "rotation moved the centre"
+        );
         let xys = OrbitDecomposition::new(MigrationScheme::XYShift, mesh);
         let avg2 = xys.time_averaged_power(&power);
         assert!(avg2[center] < 2.0, "X-Y shift left the centre hot");

@@ -104,7 +104,10 @@ impl MigrationPlan {
             })
             .collect();
 
-        let mut phases: Vec<(Vec<Move>, HashSet<(Coord, Direction)>)> = Vec::new();
+        // Moves grouped per phase together with the directed links that
+        // phase already occupies.
+        type PhaseSlot = (Vec<Move>, HashSet<(Coord, Direction)>);
+        let mut phases: Vec<PhaseSlot> = Vec::new();
         for mv in moves {
             let links = directed_links(mesh, mv.from, mv.to);
             let slot = phases
@@ -132,10 +135,7 @@ impl MigrationPlan {
                     .max()
                     .unwrap_or(0);
                 let flit_stream = moves.iter().map(|m| m.flits as u64).max().unwrap_or(0);
-                let flit_hops = moves
-                    .iter()
-                    .map(|m| m.flits as u64 * m.hops as u64)
-                    .sum();
+                let flit_hops = moves.iter().map(|m| m.flits as u64 * m.hops as u64).sum();
                 Phase {
                     moves,
                     duration_cycles: max_fill + flit_stream + cost.phase_overhead_cycles as u64,
@@ -255,8 +255,11 @@ mod tests {
                     .filter(|&c| s.apply(c, mesh) == c)
                     .count();
                 assert_eq!(p.total_moves(), n * n - fixed, "{s} on {n}x{n}");
-                let mut sources: Vec<Coord> =
-                    p.phases.iter().flat_map(|ph| ph.moves.iter().map(|m| m.from)).collect();
+                let mut sources: Vec<Coord> = p
+                    .phases
+                    .iter()
+                    .flat_map(|ph| ph.moves.iter().map(|m| m.from))
+                    .collect();
                 sources.sort_unstable();
                 sources.dedup();
                 assert_eq!(sources.len(), p.total_moves(), "duplicate source in {s}");

@@ -78,12 +78,8 @@ impl MigrationScheme {
             }
             MigrationScheme::XMirror => Coord::new(w - 1 - c.x, c.y),
             MigrationScheme::XYMirror => Coord::new(w - 1 - c.x, h - 1 - c.y),
-            MigrationScheme::XTranslation { offset } => {
-                Coord::new((c.x + offset % w) % w, c.y)
-            }
-            MigrationScheme::YTranslation { offset } => {
-                Coord::new(c.x, (c.y + offset % h) % h)
-            }
+            MigrationScheme::XTranslation { offset } => Coord::new((c.x + offset % w) % w, c.y),
+            MigrationScheme::YTranslation { offset } => Coord::new(c.x, (c.y + offset % h) % h),
             MigrationScheme::XYShift => Coord::new((c.x + 1) % w, (c.y + 1) % h),
         }
     }
@@ -367,7 +363,10 @@ mod tests {
             .iter()
             .map(|s| s.to_string())
             .collect();
-        assert_eq!(names, vec!["Rot", "X Mirror", "X-Y Mirror", "Right Shift", "X-Y Shift"]);
+        assert_eq!(
+            names,
+            vec!["Rot", "X Mirror", "X-Y Mirror", "Right Shift", "X-Y Shift"]
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ impl fmt::Display for ThermalError {
             }
             ThermalError::EmptyFloorplan => write!(f, "floorplan contains no blocks"),
             ThermalError::PowerLengthMismatch { expected, got } => {
-                write!(f, "power vector has {got} entries, model has {expected} blocks")
+                write!(
+                    f,
+                    "power vector has {got} entries, model has {expected} blocks"
+                )
             }
             ThermalError::SingularSystem => write!(f, "thermal network matrix is singular"),
             ThermalError::InvalidPackage { what } => {
@@ -76,7 +79,10 @@ mod tests {
             ThermalError::DegenerateBlock { index: 1 },
             ThermalError::OverlappingBlocks { a: 0, b: 1 },
             ThermalError::EmptyFloorplan,
-            ThermalError::PowerLengthMismatch { expected: 16, got: 4 },
+            ThermalError::PowerLengthMismatch {
+                expected: 16,
+                got: 4,
+            },
             ThermalError::SingularSystem,
             ThermalError::InvalidPackage { what: "t_die" },
             ThermalError::InvalidStep { what: "dt" },

@@ -53,14 +53,12 @@ impl Block {
     /// Two blocks are adjacent when they touch along a segment of positive
     /// length (corner contact does not count).
     pub fn shared_edge(&self, other: &Block) -> f64 {
-        let x_overlap =
-            (self.x + self.w).min(other.x + other.w) - self.x.max(other.x);
-        let y_overlap =
-            (self.y + self.h).min(other.y + other.h) - self.y.max(other.y);
-        let touch_x = ((self.x + self.w) - other.x).abs() < EPS
-            || ((other.x + other.w) - self.x).abs() < EPS;
-        let touch_y = ((self.y + self.h) - other.y).abs() < EPS
-            || ((other.y + other.h) - self.y).abs() < EPS;
+        let x_overlap = (self.x + self.w).min(other.x + other.w) - self.x.max(other.x);
+        let y_overlap = (self.y + self.h).min(other.y + other.h) - self.y.max(other.y);
+        let touch_x =
+            ((self.x + self.w) - other.x).abs() < EPS || ((other.x + other.w) - self.x).abs() < EPS;
+        let touch_y =
+            ((self.y + self.h) - other.y).abs() < EPS || ((other.y + other.h) - self.y).abs() < EPS;
         if touch_x && y_overlap > EPS {
             y_overlap
         } else if touch_y && x_overlap > EPS {
@@ -72,10 +70,8 @@ impl Block {
 
     /// `true` if the interiors of the two blocks overlap.
     pub fn overlaps(&self, other: &Block) -> bool {
-        let x_overlap =
-            (self.x + self.w).min(other.x + other.w) - self.x.max(other.x);
-        let y_overlap =
-            (self.y + self.h).min(other.y + other.h) - self.y.max(other.y);
+        let x_overlap = (self.x + self.w).min(other.x + other.w) - self.x.max(other.x);
+        let y_overlap = (self.y + self.h).min(other.y + other.h) - self.y.max(other.y);
         x_overlap > EPS && y_overlap > EPS
     }
 }

@@ -85,7 +85,7 @@ impl GridModel {
         let cpb = self.cells_per_block();
         let mut out = Vec::with_capacity(per_block.len() * cpb);
         for &p in per_block {
-            out.extend(std::iter::repeat(p / cpb as f64).take(cpb));
+            out.extend(std::iter::repeat_n(p / cpb as f64, cpb));
         }
         Ok(out)
     }

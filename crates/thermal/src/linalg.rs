@@ -62,13 +62,12 @@ impl DMat {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+        for (yi, row) in y.iter_mut().zip(self.data.chunks_exact(self.cols)) {
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(x) {
                 acc += a * b;
             }
-            y[i] = acc;
+            *yi = acc;
         }
         y
     }
@@ -171,16 +170,16 @@ impl Lu {
         // Forward substitution (L has unit diagonal).
         for i in 1..n {
             let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.a[i * n + j] * x[j];
+            for (l, xj) in self.a[i * n..i * n + i].iter().zip(&x[..i]) {
+                acc -= l * xj;
             }
             x[i] = acc;
         }
         // Back substitution.
         for i in (0..n).rev() {
             let mut acc = x[i];
-            for j in (i + 1)..n {
-                acc -= self.a[i * n + j] * x[j];
+            for (u, xj) in self.a[i * n + i + 1..(i + 1) * n].iter().zip(&x[i + 1..]) {
+                acc -= u * xj;
             }
             x[i] = acc / self.a[i * n + i];
         }

@@ -134,14 +134,20 @@ mod tests {
 
     #[test]
     fn bad_values_rejected() {
-        let mut p = PackageConfig::default();
-        p.t_die = 0.0;
+        let p = PackageConfig {
+            t_die: 0.0,
+            ..PackageConfig::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = PackageConfig::default();
-        p.r_convec = f64::NAN;
+        let p = PackageConfig {
+            r_convec: f64::NAN,
+            ..PackageConfig::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = PackageConfig::default();
-        p.ambient_celsius = f64::INFINITY;
+        let p = PackageConfig {
+            ambient_celsius: f64::INFINITY,
+            ..PackageConfig::default()
+        };
         assert!(p.validate().is_err());
     }
 }

@@ -97,7 +97,9 @@ impl RcNetwork {
             + pkg.sink.slab_resistance(pkg.t_sink / 2.0, die_area);
         add(&mut g, sp_center, sink, 1.0 / r_center_sink);
         for &p in &sp_periph {
-            let r = pkg.spreader.slab_resistance(pkg.t_spreader / 2.0, periph_area)
+            let r = pkg
+                .spreader
+                .slab_resistance(pkg.t_spreader / 2.0, periph_area)
                 + pkg.sink.slab_resistance(pkg.t_sink / 2.0, periph_area);
             add(&mut g, p, sink, 1.0 / r);
         }
@@ -117,9 +119,11 @@ impl RcNetwork {
         for &p in &sp_periph {
             cap[p] = pkg.cap_factor * pkg.spreader.slab_capacity(pkg.t_spreader, periph_area);
         }
-        cap[sink] =
-            pkg.cap_factor * pkg.sink.slab_capacity(pkg.t_sink, pkg.sink_side * pkg.sink_side)
-                + pkg.c_convec;
+        cap[sink] = pkg.cap_factor
+            * pkg
+                .sink
+                .slab_capacity(pkg.t_sink, pkg.sink_side * pkg.sink_side)
+            + pkg.c_convec;
 
         let lu = g.lu()?;
         Ok(RcNetwork {
@@ -221,7 +225,7 @@ mod tests {
     #[test]
     fn zero_power_sits_at_ambient() {
         let net = net4();
-        let t = net.steady_state_full(&vec![0.0; 16]).unwrap();
+        let t = net.steady_state_full(&[0.0; 16]).unwrap();
         for v in t {
             assert!((v - 40.0).abs() < 1e-9, "expected ambient, got {v}");
         }
@@ -234,7 +238,7 @@ mod tests {
         // lateral gradient at all — gradients come from power non-uniformity
         // (see `hotspot_block_is_hottest` and `center_spreads_laterally`).
         let net = net4();
-        let t = net.steady_state(&vec![1.5; 16]).unwrap();
+        let t = net.steady_state(&[1.5; 16]).unwrap();
         for &v in &t {
             assert!((v - t[0]).abs() < 1e-9, "uniform power must be isothermal");
         }
@@ -261,7 +265,7 @@ mod tests {
     #[test]
     fn uniform_power_is_symmetric() {
         let net = net4();
-        let t = net.steady_state(&vec![2.0; 16]).unwrap();
+        let t = net.steady_state(&[2.0; 16]).unwrap();
         // Four-fold symmetry: corners equal.
         let corners = [t[0], t[3], t[12], t[15]];
         for c in corners {
@@ -280,7 +284,10 @@ mod tests {
             .map(|(ti, g)| g * (ti - net.ambient()))
             .sum();
         let total: f64 = power.iter().sum();
-        assert!((out - total).abs() < 1e-8, "heat out {out} != heat in {total}");
+        assert!(
+            (out - total).abs() < 1e-8,
+            "heat out {out} != heat in {total}"
+        );
     }
 
     #[test]
@@ -319,8 +326,8 @@ mod tests {
     #[test]
     fn more_power_means_hotter() {
         let net = net4();
-        let t1 = net.steady_state(&vec![1.0; 16]).unwrap();
-        let t2 = net.steady_state(&vec![2.0; 16]).unwrap();
+        let t1 = net.steady_state(&[1.0; 16]).unwrap();
+        let t2 = net.steady_state(&[2.0; 16]).unwrap();
         for (a, b) in t1.iter().zip(&t2) {
             assert!(b > a);
         }
@@ -331,7 +338,10 @@ mod tests {
         let net = net4();
         assert!(matches!(
             net.steady_state(&[1.0; 3]),
-            Err(ThermalError::PowerLengthMismatch { expected: 16, got: 3 })
+            Err(ThermalError::PowerLengthMismatch {
+                expected: 16,
+                got: 3
+            })
         ));
     }
 
@@ -339,9 +349,12 @@ mod tests {
     fn paper_power_band_reaches_paper_temperatures() {
         // ~1.4-2 W per block should land in the paper's 72-86 C band.
         let net = net4();
-        let t = net.steady_state(&vec![1.7; 16]).unwrap();
+        let t = net.steady_state(&[1.7; 16]).unwrap();
         let pk = peak(&t);
-        assert!((60.0..100.0).contains(&pk), "peak {pk} outside plausible band");
+        assert!(
+            (60.0..100.0).contains(&pk),
+            "peak {pk} outside plausible band"
+        );
     }
 
     #[test]
@@ -349,6 +362,8 @@ mod tests {
         let net = net4();
         assert!(net.capacities().iter().all(|&c| c > 0.0));
         let sink = *net.capacities().last().unwrap();
-        assert!(net.capacities()[..net.n_nodes() - 1].iter().all(|&c| c < sink));
+        assert!(net.capacities()[..net.n_nodes() - 1]
+            .iter()
+            .all(|&c| c < sink));
     }
 }

@@ -75,7 +75,7 @@ mod tests {
     #[test]
     fn zero_power_converges_to_ambient() {
         let net = net();
-        let t = steady_state_gauss_seidel(&net, &vec![0.0; 16], 1e-12, 100_000).unwrap();
+        let t = steady_state_gauss_seidel(&net, &[0.0; 16], 1e-12, 100_000).unwrap();
         for v in t {
             assert!((v - 40.0).abs() < 1e-6);
         }
@@ -94,7 +94,7 @@ mod tests {
     fn iteration_budget_enforced() {
         let net = net();
         // One sweep cannot converge to 1e-12 from ambient under load.
-        let r = steady_state_gauss_seidel(&net, &vec![2.0; 16], 1e-12, 1);
+        let r = steady_state_gauss_seidel(&net, &[2.0; 16], 1e-12, 1);
         assert!(matches!(r, Err(ThermalError::SingularSystem)));
     }
 }

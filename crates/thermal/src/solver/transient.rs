@@ -129,10 +129,9 @@ impl<'a> TransientSim<'a> {
         match self.integrator {
             Integrator::BackwardEuler => {
                 let lu = self.be_lu.as_ref().expect("BE factors exist");
-                let n = self.net.n_nodes();
                 let mut rhs = b;
-                for i in 0..n {
-                    rhs[i] += self.net.capacities()[i] / self.dt * self.temps[i];
+                for ((r, &c), &t) in rhs.iter_mut().zip(self.net.capacities()).zip(&self.temps) {
+                    *r += c / self.dt * t;
                 }
                 self.temps = lu.solve(&rhs);
             }
@@ -241,7 +240,7 @@ mod tests {
         let mut sim = TransientSim::new(&n, 1e-4, Integrator::BackwardEuler).unwrap();
         sim.init_from_steady(&p).unwrap();
         let hot = sim.peak_block_temp();
-        sim.run(&vec![0.0; 16], 2_000).unwrap();
+        sim.run(&[0.0; 16], 2_000).unwrap();
         let cooled = sim.peak_block_temp();
         assert!(cooled < hot - 5.0, "did not cool: {hot} -> {cooled}");
         assert!(cooled >= 40.0 - 1e-9, "cooled below ambient");
@@ -282,7 +281,7 @@ mod tests {
     fn time_advances() {
         let n = net();
         let mut sim = TransientSim::new(&n, 1e-3, Integrator::BackwardEuler).unwrap();
-        sim.run(&vec![0.0; 16], 10).unwrap();
+        sim.run(&[0.0; 16], 10).unwrap();
         assert!((sim.time() - 1e-2).abs() < 1e-12);
         assert!((sim.dt() - 1e-3).abs() < 1e-18);
     }

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Frame-error rate over an SNR sweep, min-sum vs sum-product.
     let mut rng = StdRng::seed_from_u64(1);
-    println!("\n{:>8} {:>14} {:>14} {:>12}", "Eb/N0", "min-sum FER", "sum-prod FER", "avg iters");
+    println!(
+        "\n{:>8} {:>14} {:>14} {:>12}",
+        "Eb/N0", "min-sum FER", "sum-prod FER", "avg iters"
+    );
     for snr_db in [1.5, 2.0, 2.5, 3.0, 3.5] {
         let trials = 40;
         let (mut ms_fail, mut sp_fail, mut iters) = (0, 0, 0usize);

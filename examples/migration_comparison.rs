@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let spec = ChipSpec::of(id, Fidelity::Quick);
     let mesh = Mesh::square(spec.mesh_side)?;
-    println!("Configuration {id} ({}x{} mesh)\n", spec.mesh_side, spec.mesh_side);
+    println!(
+        "Configuration {id} ({}x{} mesh)\n",
+        spec.mesh_side, spec.mesh_side
+    );
 
     println!("Orbit structure (what each transform can and cannot move):");
     for scheme in MigrationScheme::FIGURE1 {

@@ -45,11 +45,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(MigrationScheme::XYShift),
         &CosimParams::quick(),
     )?;
-    println!("X-Y shift migration, period {:.1} us:", result.period_seconds * 1e6);
+    println!(
+        "X-Y shift migration, period {:.1} us:",
+        result.period_seconds * 1e6
+    );
     println!("  base peak:          {:.2} C", result.base_peak);
     println!("  migrated peak:      {:.2} C", result.peak);
     println!("  reduction:          {:.2} C", result.reduction);
-    println!("  throughput penalty: {:.2} %", result.throughput_penalty * 100.0);
+    println!(
+        "  throughput penalty: {:.2} %",
+        result.throughput_penalty * 100.0
+    );
     println!("  migrations run:     {}", result.migrations);
     Ok(())
 }

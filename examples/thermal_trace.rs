@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         let path = format!(
             "thermal_trace_{}.csv",
-            scheme.to_string().to_lowercase().replace(' ', "_").replace('-', "_")
+            scheme.to_string().to_lowercase().replace([' ', '-'], "_")
         );
         std::fs::write(&path, trace.to_csv())?;
         println!("  trace written to {path}");
@@ -71,10 +71,10 @@ fn simulate(
     for _ in 0..800 {
         // Power map for the current migration state.
         let mut power = vec![0.0; dynamic.len()];
-        for tile in 0..dynamic.len() {
+        for (tile, &d) in dynamic.iter().enumerate() {
             let c = mesh.coord(hotnoc::noc::NodeId::new(tile as u16));
             let dst = scheme.apply_k(c, mesh, k % order);
-            power[mesh.node_id(dst)?.index()] = dynamic[tile];
+            power[mesh.node_id(dst)?.index()] = d;
         }
         let leak = leakage::leakage_per_block(&areas, sim.block_temps(), chip.tech());
         for (p, l) in power.iter_mut().zip(&leak) {

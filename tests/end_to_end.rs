@@ -17,7 +17,9 @@ fn chip(id: ChipConfigId) -> (Chip, hotnoc::core::chip::CalibratedPower) {
 fn every_config_calibrates_to_its_figure1_base() {
     for id in ChipConfigId::ALL {
         let (chip, cal) = chip(id);
-        let temps = chip.steady_with_leakage(&cal.dynamic).expect("steady state");
+        let temps = chip
+            .steady_with_leakage(&cal.dynamic)
+            .expect("steady state");
         let peak = temps.iter().cloned().fold(f64::MIN, f64::max);
         let target = chip.spec().base_peak_celsius;
         assert!(
@@ -43,7 +45,10 @@ fn rotation_and_xy_mirror_lead_on_even_meshes() {
         ];
         for o in others {
             assert!(rot > o, "{id}: rotation {rot:.2} not above {o:.2}");
-            assert!(xym > o - 1.5, "{id}: x-y mirror {xym:.2} too far below {o:.2}");
+            assert!(
+                xym > o - 1.5,
+                "{id}: x-y mirror {xym:.2} too far below {o:.2}"
+            );
         }
     }
 }

@@ -2,7 +2,9 @@
 //! duplication, bounded latency, conservation of flits — under randomized
 //! traffic on randomized mesh sizes.
 
-use hotnoc::noc::{Mesh, Network, NocConfig, Packet, PacketClass, TrafficGenerator, TrafficPattern};
+use hotnoc::noc::{
+    Mesh, Network, NocConfig, Packet, PacketClass, TrafficGenerator, TrafficPattern,
+};
 use proptest::prelude::*;
 
 proptest! {

@@ -138,8 +138,8 @@ proptest! {
         prop_assert_eq!(m.chk_cluster().len(), 120);
         // Every cluster owns at least one variable and one check.
         for cl in 0..weights.len() {
-            prop_assert!(m.var_cluster().iter().any(|&x| x == cl));
-            prop_assert!(m.chk_cluster().iter().any(|&x| x == cl));
+            prop_assert!(m.var_cluster().contains(&cl));
+            prop_assert!(m.chk_cluster().contains(&cl));
         }
         // Ops are conserved.
         let total: u64 = m.ops_per_cluster(&code).iter().sum();

@@ -1,0 +1,33 @@
+//! Fast end-to-end smoke test: one short co-simulation per chip
+//! configuration A–E. Guards the whole pipeline (NoC → LDPC workload →
+//! power → thermal → reconfiguration) without the cost of the full
+//! paper-exhibit runs.
+
+use hotnoc::core::configs::ChipConfigId;
+use hotnoc::core::experiment::quick_demo;
+
+#[test]
+fn every_chip_config_runs_and_migration_cools() {
+    for id in ChipConfigId::ALL {
+        let out = quick_demo(id).unwrap_or_else(|e| panic!("config {id:?} failed: {e}"));
+        assert!(
+            out.base_peak_celsius.is_finite(),
+            "config {id:?}: non-finite base peak"
+        );
+        assert!(
+            out.base_peak_celsius > 40.0,
+            "config {id:?}: base peak {:.1} °C not above ambient",
+            out.base_peak_celsius
+        );
+        assert!(
+            out.reduction_celsius.is_finite() && out.reduction_celsius > 0.0,
+            "config {id:?}: migration should reduce the peak, got {:.2} °C",
+            out.reduction_celsius
+        );
+        assert!(
+            out.reduction_celsius < out.base_peak_celsius,
+            "config {id:?}: reduction {:.1} exceeds the peak itself",
+            out.reduction_celsius
+        );
+    }
+}

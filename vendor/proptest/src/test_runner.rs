@@ -1,0 +1,52 @@
+//! Test configuration and the deterministic per-test RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Stand-in for `proptest::test_runner::Config` (aliased to `ProptestConfig`
+/// in the prelude). Only `cases` is consulted.
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // The real proptest defaults to 256; this stub trades a thinner
+        // sample for a test suite that stays fast on the heavier simulation
+        // properties. Override per-suite with `ProptestConfig::with_cases`.
+        Config { cases: 64 }
+    }
+}
+
+/// RNG handed to strategies. Seeded from the fully-qualified test name, so
+/// every run (local or CI) replays the identical case sequence — this is the
+/// determinism contract that replaces `proptest-regressions/` seed files.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test path gives a stable, well-spread 64-bit seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(h),
+        }
+    }
+
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}

@@ -1,0 +1,197 @@
+//! Offline stand-in for the real `rand` crate (0.8 API subset).
+//!
+//! Implements exactly the surface this workspace uses — `StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::{gen, gen_bool, gen_range}` and
+//! `seq::SliceRandom::shuffle` — on top of a xoshiro256++ generator seeded via
+//! SplitMix64. Deterministic per seed, which is all the simulators and tests
+//! rely on. Swap the path dependency for the registry crate when a registry is
+//! reachable; the statistical quality differs (real `StdRng` is ChaCha12) but
+//! every API call site compiles unchanged.
+
+pub mod rngs;
+pub mod seq;
+
+use std::ops::Range;
+
+/// Core RNG interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types producible by [`Rng::gen`] (stand-in for the real crate's
+/// `Standard: Distribution<T>` bound).
+pub trait Standard: Sized {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl Standard for f32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Half-open ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = rng.next_f64() as $t;
+                self.start + u * (self.end - self.start)
+            }
+        }
+    )*};
+}
+sample_range_float!(f32, f64);
+
+/// User-facing convenience methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p not in [0, 1]");
+        self.next_f64() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    type Seed;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let f: f64 = rng.gen_range(-2.5..4.5);
+            assert!((-2.5..4.5).contains(&f));
+            let i: i32 = rng.gen_range(-10..-2);
+            assert!((-10..-2).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "seed 3 should move at least one element");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Sequence helpers: the `SliceRandom` subset the workspace uses.
+
+use crate::RngCore;
+
+pub trait SliceRandom {
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Uniformly random element, `None` on an empty slice.
+    fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = (rng.next_u64() % self.len() as u64) as usize;
+            Some(&self[i])
+        }
+    }
+}

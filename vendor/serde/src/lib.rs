@@ -1,0 +1,32 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! The workspace uses `Serialize`/`Deserialize` purely as derive markers on
+//! config and data types — nothing is actually serialized yet. This stub keeps
+//! those derives compiling without registry access: the traits are blanket
+//! implemented for every type, and the re-exported derive macros expand to
+//! nothing. Swap the path dependency for the registry crate when a registry
+//! is reachable; no source changes are required.
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented for all
+/// types; the lifetime parameter mirrors the real trait's signature.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}
