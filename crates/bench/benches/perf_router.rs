@@ -1,9 +1,14 @@
 //! Engineering benches for the cycle-accurate NoC simulator: cycle
-//! throughput under synthetic load and saturation behaviour. Prints a
+//! throughput under synthetic load and saturation behaviour, from the
+//! paper's 4x4 up to the 16x16 meshes the ROADMAP targets. Prints a
 //! latency/offered-load curve once (the classic NoC characterization).
+//!
+//! `noc/steps_per_sec/16x16_idle` is the headline scaling scenario: the
+//! step loop must track occupancy, not topology size, so an idle large
+//! mesh should cost almost nothing per cycle.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hotnoc_noc::{Mesh, Network, NocConfig, TrafficGenerator, TrafficPattern};
+use hotnoc_noc::{Coord, Mesh, Network, NocConfig, TrafficGenerator, TrafficPattern};
 
 fn latency_load_curve() {
     println!("\nUniform-random latency/load curve (4x4 mesh, 4-flit packets):");
@@ -28,11 +33,27 @@ fn latency_load_curve() {
     }
 }
 
+/// The corner-region hotspot pattern used by the scaling benches: traffic
+/// concentrates on a 2x2 block near the mesh centre, the worst case the
+/// paper's runtime reconfiguration is designed to flatten.
+fn hotspot_pattern(side: usize) -> TrafficPattern {
+    let c = (side / 2) as u8;
+    TrafficPattern::Hotspot {
+        nodes: vec![
+            Coord::new(c - 1, c - 1),
+            Coord::new(c, c - 1),
+            Coord::new(c - 1, c),
+            Coord::new(c, c),
+        ],
+        fraction: 0.6,
+    }
+}
+
 fn bench_router(c: &mut Criterion) {
     latency_load_curve();
 
     let mut group = c.benchmark_group("noc/steps_per_sec");
-    for side in [4usize, 5, 8] {
+    for side in [4usize, 5, 8, 16] {
         group.bench_function(format!("{side}x{side}_idle"), |b| {
             let mesh = Mesh::square(side).expect("mesh");
             let mut net = Network::new(mesh, NocConfig::default());
@@ -42,6 +63,19 @@ fn bench_router(c: &mut Criterion) {
             let mesh = Mesh::square(side).expect("mesh");
             let mut net = Network::new(mesh, NocConfig::default());
             let mut gen = TrafficGenerator::new(mesh, TrafficPattern::UniformRandom, 0.1, 4, 13);
+            b.iter(|| {
+                for _ in 0..100 {
+                    gen.tick(&mut net);
+                    net.step();
+                }
+            });
+        });
+    }
+    for side in [8usize, 16] {
+        group.bench_function(format!("{side}x{side}_hotspot"), |b| {
+            let mesh = Mesh::square(side).expect("mesh");
+            let mut net = Network::new(mesh, NocConfig::default());
+            let mut gen = TrafficGenerator::new(mesh, hotspot_pattern(side), 0.05, 4, 29);
             b.iter(|| {
                 for _ in 0..100 {
                     gen.tick(&mut net);

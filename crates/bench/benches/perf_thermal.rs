@@ -1,15 +1,22 @@
 //! Engineering benches for the thermal solver: steady-state solve, network
 //! construction and transient stepping — the inner loop of the
-//! co-simulation (thousands of backward-Euler steps per experiment).
+//! co-simulation (thousands of backward-Euler steps per experiment). The
+//! `be_step`/`rk4_step` series sweeps mesh sizes up to 32x32 (2054 thermal
+//! nodes) to capture how transient cost scales with the network.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hotnoc_thermal::{Floorplan, Integrator, PackageConfig, RcNetwork, TransientSim};
+
+fn build(side: usize, pkg: &PackageConfig) -> RcNetwork {
+    let plan = Floorplan::mesh_grid(side, side, 4.36e-6).expect("plan");
+    RcNetwork::build(&plan, pkg).expect("build")
+}
 
 fn bench_thermal(c: &mut Criterion) {
     let pkg = PackageConfig::date05_defaults();
 
     let mut group = c.benchmark_group("thermal/build");
-    for side in [4usize, 5, 8] {
+    for side in [4usize, 5, 8, 16] {
         group.bench_function(format!("{side}x{side}"), |b| {
             let plan = Floorplan::mesh_grid(side, side, 4.36e-6).expect("plan");
             b.iter(|| RcNetwork::build(black_box(&plan), &pkg).expect("build"));
@@ -17,25 +24,38 @@ fn bench_thermal(c: &mut Criterion) {
     }
     group.finish();
 
-    let plan5 = Floorplan::mesh_grid(5, 5, 4.36e-6).expect("plan");
-    let net5 = RcNetwork::build(&plan5, &pkg).expect("build");
+    let net5 = build(5, &pkg);
     let power = vec![1.2; 25];
 
     c.bench_function("thermal/steady_state_5x5", |b| {
         b.iter(|| net5.steady_state(black_box(&power)).expect("solve"))
     });
 
-    c.bench_function("thermal/be_step_5x5", |b| {
-        let mut sim = TransientSim::new(&net5, 5e-6, Integrator::BackwardEuler).expect("sim");
-        sim.init_from_steady(&power).expect("init");
-        b.iter(|| sim.step(black_box(&power)).expect("step"))
-    });
+    // Transient stepping across mesh sizes: the largest configs are where
+    // dense O(n^2) stepping leaves an order of magnitude on the table.
+    let mut group = c.benchmark_group("thermal/be_step");
+    for side in [5usize, 8, 16, 32] {
+        group.bench_function(format!("{side}x{side}"), |b| {
+            let net = build(side, &pkg);
+            let p = vec![1.2; side * side];
+            let mut sim = TransientSim::new(&net, 5e-6, Integrator::BackwardEuler).expect("sim");
+            sim.init_from_steady(&p).expect("init");
+            b.iter(|| sim.step(black_box(&p)).expect("step"))
+        });
+    }
+    group.finish();
 
-    c.bench_function("thermal/rk4_step_5x5", |b| {
-        let mut sim = TransientSim::new(&net5, 5e-6, Integrator::Rk4).expect("sim");
-        sim.init_from_steady(&power).expect("init");
-        b.iter(|| sim.step(black_box(&power)).expect("step"))
-    });
+    let mut group = c.benchmark_group("thermal/rk4_step");
+    for side in [5usize, 16] {
+        group.bench_function(format!("{side}x{side}"), |b| {
+            let net = build(side, &pkg);
+            let p = vec![1.2; side * side];
+            let mut sim = TransientSim::new(&net, 5e-6, Integrator::Rk4).expect("sim");
+            sim.init_from_steady(&p).expect("init");
+            b.iter(|| sim.step(black_box(&p)).expect("step"))
+        });
+    }
+    group.finish();
 
     c.bench_function("thermal/cosim_window_1ms_5x5", |b| {
         // 200 BE steps of 5 us = 1 ms of simulated time: the unit of work

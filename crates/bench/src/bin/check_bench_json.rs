@@ -1,0 +1,42 @@
+//! Validates `BENCH_*.json` bench reports against the `hotnoc-bench-v1`
+//! schema. CI's bench-smoke job runs this over every emitted report and
+//! fails the build on the first malformed file.
+//!
+//! Usage: `check_bench_json <file> [<file> ...]`
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: check_bench_json <BENCH_*.json> [...]");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("{path}: unreadable: {e}");
+                ok = false;
+            }
+            Ok(text) => match criterion::report::parse_report(&text) {
+                Err(e) => {
+                    eprintln!("{path}: INVALID: {e}");
+                    ok = false;
+                }
+                Ok(records) => {
+                    println!("{path}: ok ({} results)", records.len());
+                    if records.is_empty() {
+                        eprintln!("{path}: INVALID: no results recorded");
+                        ok = false;
+                    }
+                }
+            },
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

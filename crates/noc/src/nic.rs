@@ -49,7 +49,9 @@ impl Nic {
         }
     }
 
-    /// Flits still queued for injection.
+    /// Flits still queued for injection. The network tracks occupancy
+    /// incrementally; this recount survives for tests cross-checking it.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn pending_flits(&self) -> usize {
         self.inject_queue.len()
     }

@@ -151,8 +151,10 @@ impl Router {
         self.activity.buffer_writes += 1;
     }
 
-    /// Processes landed credits for the current cycle.
-    pub(crate) fn land_credits(&mut self, now: u64) {
+    /// Processes landed credits for the current cycle, returning how many
+    /// landed (the network's work tracker retires that many units).
+    pub(crate) fn land_credits(&mut self, now: u64) -> usize {
+        let mut landed = 0;
         for out in &mut self.outputs {
             while let Some(&(vc, at)) = out.credit_queue.front() {
                 if at > now {
@@ -160,8 +162,10 @@ impl Router {
                 }
                 out.credit_queue.pop_front();
                 out.credits[vc as usize] += 1;
+                landed += 1;
             }
         }
+        landed
     }
 }
 

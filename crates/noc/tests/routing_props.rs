@@ -17,6 +17,10 @@ fn mesh_and_pair() -> impl Strategy<Value = (Mesh, Coord, Coord)> {
 }
 
 proptest! {
+    // Routing checks are cheap; sample well beyond the vendored default of
+    // 64 cases (ROADMAP open item, affordable since the perf refactor).
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
     #[test]
     fn all_algorithms_are_minimal((mesh, src, dst) in mesh_and_pair()) {
         for kind in [RoutingKind::Xy, RoutingKind::Yx, RoutingKind::WestFirst] {

@@ -40,6 +40,12 @@ pub enum ThermalError {
         /// Description of the problem.
         what: &'static str,
     },
+    /// The iterative solver failed to reach its tolerance (numerical
+    /// breakdown or an iteration budget exhausted).
+    NotConverged {
+        /// Iterations performed before giving up.
+        iters: usize,
+    },
 }
 
 impl fmt::Display for ThermalError {
@@ -63,6 +69,12 @@ impl fmt::Display for ThermalError {
                 write!(f, "invalid package parameter: {what}")
             }
             ThermalError::InvalidStep { what } => write!(f, "invalid solver step: {what}"),
+            ThermalError::NotConverged { iters } => {
+                write!(
+                    f,
+                    "iterative solver did not converge after {iters} iterations"
+                )
+            }
         }
     }
 }
@@ -86,6 +98,7 @@ mod tests {
             ThermalError::SingularSystem,
             ThermalError::InvalidPackage { what: "t_die" },
             ThermalError::InvalidStep { what: "dt" },
+            ThermalError::NotConverged { iters: 100 },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

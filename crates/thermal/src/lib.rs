@@ -40,6 +40,7 @@ pub mod materials;
 pub mod package;
 pub mod rc_model;
 pub mod solver;
+pub mod sparse;
 pub mod trace;
 
 pub use error::ThermalError;
@@ -48,4 +49,5 @@ pub use grid::GridModel;
 pub use package::PackageConfig;
 pub use rc_model::RcNetwork;
 pub use solver::transient::{Integrator, TransientSim};
+pub use sparse::{CgSolver, CsrMat, TripletBuilder};
 pub use trace::{ThermalStats, ThermalTrace};

@@ -19,14 +19,22 @@ use crate::error::ThermalError;
 use crate::floorplan::Floorplan;
 use crate::linalg::{DMat, Lu};
 use crate::package::PackageConfig;
+use crate::sparse::{CsrMat, TripletBuilder};
 
 /// A fully built thermal network with pre-factored steady-state matrix.
+///
+/// The conductance Laplacian is assembled directly in sparse (CSR) form —
+/// ~7 nonzeros per row — which is what the transient integrators step with;
+/// the dense copy exists only to LU-factor the steady-state system once.
 #[derive(Debug, Clone)]
 pub struct RcNetwork {
     n_blocks: usize,
     n_nodes: usize,
-    /// `G` Laplacian plus ambient conductance on the diagonal.
+    /// `G` Laplacian plus ambient conductance on the diagonal (dense copy,
+    /// kept for the steady-state factorization and inspection).
     a: DMat,
+    /// The same matrix in CSR form: the transient stepping operator.
+    a_sparse: CsrMat,
     /// Per-node conductance to ambient (only the sink node is non-zero).
     g_amb: Vec<f64>,
     /// Per-node heat capacity in J/K.
@@ -51,12 +59,9 @@ impl RcNetwork {
         let sp_periph = [2 * n + 1, 2 * n + 2, 2 * n + 3, 2 * n + 4];
         let sink = 2 * n + 5;
 
-        let mut g = DMat::zeros(n_nodes, n_nodes);
-        let add = |g: &mut DMat, i: usize, j: usize, cond: f64| {
-            g[(i, j)] -= cond;
-            g[(j, i)] -= cond;
-            g[(i, i)] += cond;
-            g[(j, j)] += cond;
+        let mut g = TripletBuilder::new(n_nodes, n_nodes);
+        let add = |g: &mut TripletBuilder, i: usize, j: usize, cond: f64| {
+            g.add_conductance(i, j, cond);
         };
 
         // Lateral conduction between adjacent die blocks.
@@ -107,7 +112,7 @@ impl RcNetwork {
         // Sink -> ambient convection.
         let mut g_amb = vec![0.0; n_nodes];
         g_amb[sink] = 1.0 / pkg.r_convec;
-        g[(sink, sink)] += g_amb[sink];
+        g.add(sink, sink, g_amb[sink]);
 
         // Heat capacities.
         let mut cap = vec![0.0; n_nodes];
@@ -125,11 +130,14 @@ impl RcNetwork {
                 .slab_capacity(pkg.t_sink, pkg.sink_side * pkg.sink_side)
             + pkg.c_convec;
 
-        let lu = g.lu()?;
+        let a_sparse = g.build();
+        let a = a_sparse.to_dense();
+        let lu = a.lu()?;
         Ok(RcNetwork {
             n_blocks: n,
             n_nodes,
-            a: g,
+            a,
+            a_sparse,
             g_amb,
             cap,
             ambient: pkg.ambient_celsius,
@@ -157,9 +165,15 @@ impl RcNetwork {
         &self.cap
     }
 
-    /// The conductance matrix (Laplacian + ambient diagonal).
+    /// The conductance matrix (Laplacian + ambient diagonal), densely.
     pub fn conductance(&self) -> &DMat {
         &self.a
+    }
+
+    /// The conductance matrix in CSR form (what the transient solvers
+    /// multiply by; O(nnz) per matvec instead of O(n²)).
+    pub fn conductance_sparse(&self) -> &CsrMat {
+        &self.a_sparse
     }
 
     /// Per-node conductance to ambient.
@@ -174,18 +188,35 @@ impl RcNetwork {
     ///
     /// Returns [`ThermalError::PowerLengthMismatch`] on a wrong-sized input.
     pub fn rhs(&self, power_blocks: &[f64]) -> Result<Vec<f64>, ThermalError> {
+        let mut b = vec![0.0; self.n_nodes];
+        self.rhs_into(power_blocks, &mut b)?;
+        Ok(b)
+    }
+
+    /// [`RcNetwork::rhs`] into a caller-owned buffer (the allocation-free
+    /// path the transient integrator steps with).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::PowerLengthMismatch`] on a wrong-sized input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.n_nodes()`.
+    pub fn rhs_into(&self, power_blocks: &[f64], out: &mut [f64]) -> Result<(), ThermalError> {
         if power_blocks.len() != self.n_blocks {
             return Err(ThermalError::PowerLengthMismatch {
                 expected: self.n_blocks,
                 got: power_blocks.len(),
             });
         }
-        let mut b = vec![0.0; self.n_nodes];
-        b[..self.n_blocks].copy_from_slice(power_blocks);
-        for (bi, g) in b.iter_mut().zip(&self.g_amb) {
+        assert_eq!(out.len(), self.n_nodes, "rhs buffer length mismatch");
+        out[..self.n_blocks].copy_from_slice(power_blocks);
+        out[self.n_blocks..].fill(0.0);
+        for (bi, g) in out.iter_mut().zip(&self.g_amb) {
             *bi += g * self.ambient;
         }
-        Ok(b)
+        Ok(())
     }
 
     /// Steady-state temperatures of the die blocks, in °C.
@@ -355,6 +386,42 @@ mod tests {
             (60.0..100.0).contains(&pk),
             "peak {pk} outside plausible band"
         );
+    }
+
+    #[test]
+    fn sparse_conductance_matches_dense_and_is_sparse() {
+        let net = net4();
+        let s = net.conductance_sparse();
+        let d = net.conductance();
+        assert_eq!(s.rows(), d.rows());
+        assert_eq!(s.cols(), d.cols());
+        for i in 0..s.rows() {
+            for j in 0..s.cols() {
+                assert!(
+                    (s.get(i, j) - d[(i, j)]).abs() < 1e-15,
+                    "mismatch at ({i}, {j})"
+                );
+            }
+        }
+        // A handful of nonzeros per row on average, far below n².
+        assert!(s.nnz() < 10 * s.rows(), "nnz {} too dense", s.nnz());
+        // Symmetric (CG requires it).
+        for i in 0..s.rows() {
+            for j in 0..s.cols() {
+                assert_eq!(s.get(i, j), s.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn rhs_into_matches_rhs() {
+        let net = net4();
+        let p: Vec<f64> = (0..16).map(|i| 0.3 + 0.1 * i as f64).collect();
+        let a = net.rhs(&p).unwrap();
+        let mut b = vec![7.0; net.n_nodes()]; // stale garbage must be overwritten
+        net.rhs_into(&p, &mut b).unwrap();
+        assert_eq!(a, b);
+        assert!(net.rhs_into(&[0.0; 3], &mut b).is_err());
     }
 
     #[test]

@@ -2,21 +2,27 @@
 //!
 //! Two integrators are provided:
 //!
-//! * **Backward Euler** (default): unconditionally stable; the system matrix
-//!   `C/dt + G` is LU-factored once per `dt`, so each step is a cheap
-//!   back-substitution. This is what the migration co-simulation uses (many
-//!   thousands of steps at a fixed `dt`).
-//! * **RK4**: classic explicit integration; useful to cross-validate the
-//!   implicit solver at small steps (the property tests do exactly that).
+//! * **Backward Euler** (default): unconditionally stable; the sparse
+//!   system `(C/dt + G) T' = P + C/dt·T` is solved each step by
+//!   Jacobi-preconditioned conjugate gradient, warm-started from the
+//!   current temperatures. Successive steps move the state very little, so
+//!   the solve typically converges in a handful of O(nnz) matvecs — the
+//!   cost scales with the network's nonzeros, not n². This is what the
+//!   migration co-simulation uses (many thousands of steps at a fixed
+//!   `dt`).
+//! * **RK4**: classic explicit integration via sparse matvec; useful to
+//!   cross-validate the implicit solver at small steps (the property tests
+//!   do exactly that).
 
 use crate::error::ThermalError;
-use crate::linalg::{DMat, Lu};
 use crate::rc_model::RcNetwork;
+use crate::sparse::{CgSolver, CsrMat};
 
 /// Time integration scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Integrator {
-    /// Implicit backward Euler with a pre-factored system matrix.
+    /// Implicit backward Euler, solved per step by warm-started
+    /// conjugate gradient over the sparse system matrix.
     #[default]
     BackwardEuler,
     /// Explicit 4th-order Runge-Kutta.
@@ -31,8 +37,11 @@ pub struct TransientSim<'a> {
     dt: f64,
     integrator: Integrator,
     temps: Vec<f64>,
-    /// LU of `(C/dt + G)`, only for backward Euler.
-    be_lu: Option<Lu>,
+    /// Sparse `(C/dt + G)` and its CG solver, only for backward Euler.
+    be: Option<(CsrMat, CgSolver)>,
+    /// Scratch buffers reused across steps (RHS, RK4 stages).
+    rhs: Vec<f64>,
+    stage: Vec<Vec<f64>>,
     time: f64,
 }
 
@@ -43,7 +52,8 @@ impl<'a> TransientSim<'a> {
     /// # Errors
     ///
     /// * [`ThermalError::InvalidStep`] for a non-positive or non-finite `dt`.
-    /// * [`ThermalError::SingularSystem`] if factoring fails (defensive).
+    /// * [`ThermalError::SingularSystem`] if the implicit system is not SPD
+    ///   (defensive; cannot happen for a valid RC network).
     pub fn new(net: &'a RcNetwork, dt: f64, integrator: Integrator) -> Result<Self, ThermalError> {
         if !(dt.is_finite() && dt > 0.0) {
             return Err(ThermalError::InvalidStep {
@@ -51,26 +61,27 @@ impl<'a> TransientSim<'a> {
             });
         }
         let n = net.n_nodes();
-        let be_lu = match integrator {
+        let be = match integrator {
             Integrator::BackwardEuler => {
-                let g = net.conductance();
-                let mut m = DMat::zeros(n, n);
-                for i in 0..n {
-                    for j in 0..n {
-                        m[(i, j)] = g[(i, j)];
-                    }
-                    m[(i, i)] += net.capacities()[i] / dt;
-                }
-                Some(m.lu()?)
+                let c_over_dt: Vec<f64> = net.capacities().iter().map(|c| c / dt).collect();
+                let m = net.conductance_sparse().with_diagonal_added(&c_over_dt);
+                let solver = CgSolver::new(&m)?;
+                Some((m, solver))
             }
             Integrator::Rk4 => None,
+        };
+        let stage_bufs = match integrator {
+            Integrator::BackwardEuler => 1, // the candidate next state
+            Integrator::Rk4 => 6,           // k1..k4, the staged y, and one matvec out
         };
         Ok(TransientSim {
             net,
             dt,
             integrator,
             temps: vec![net.ambient(); n],
-            be_lu,
+            be,
+            rhs: vec![0.0; n],
+            stage: (0..stage_bufs).map(|_| vec![0.0; n]).collect(),
             time: 0.0,
         })
     }
@@ -123,43 +134,69 @@ impl<'a> TransientSim<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`ThermalError::PowerLengthMismatch`] on a wrong-sized input.
+    /// * [`ThermalError::PowerLengthMismatch`] on a wrong-sized input.
+    /// * [`ThermalError::NotConverged`] if the implicit solve breaks down
+    ///   (defensive; the system is SPD by construction).
     pub fn step(&mut self, power_blocks: &[f64]) -> Result<(), ThermalError> {
-        let b = self.net.rhs(power_blocks)?;
+        let mut rhs = std::mem::take(&mut self.rhs);
+        let result = self.step_with_rhs(power_blocks, &mut rhs);
+        self.rhs = rhs;
+        result?;
+        self.time += self.dt;
+        Ok(())
+    }
+
+    fn step_with_rhs(&mut self, power_blocks: &[f64], rhs: &mut [f64]) -> Result<(), ThermalError> {
+        self.net.rhs_into(power_blocks, rhs)?;
         match self.integrator {
             Integrator::BackwardEuler => {
-                let lu = self.be_lu.as_ref().expect("BE factors exist");
-                let mut rhs = b;
                 for ((r, &c), &t) in rhs.iter_mut().zip(self.net.capacities()).zip(&self.temps) {
                     *r += c / self.dt * t;
                 }
-                self.temps = lu.solve(&rhs);
+                // Warm start: the previous temperatures are an excellent
+                // initial guess, so CG usually converges in a few matvecs.
+                // Solve into the scratch buffer and commit only on success,
+                // so a failed step leaves the state untouched.
+                let (m, solver) = self.be.as_mut().expect("BE state exists");
+                let [next] = &mut self.stage[..] else {
+                    unreachable!("BE owns one stage buffer");
+                };
+                next.copy_from_slice(&self.temps);
+                solver.solve(m, rhs, next)?;
+                self.temps.copy_from_slice(next);
             }
             Integrator::Rk4 => {
-                let deriv = |t: &[f64]| -> Vec<f64> {
-                    let gt = self.net.conductance().matvec(t);
-                    t.iter()
-                        .enumerate()
-                        .map(|(i, _)| (b[i] - gt[i]) / self.net.capacities()[i])
-                        .collect()
-                };
+                let g = self.net.conductance_sparse();
+                let cap = self.net.capacities();
+                let n = self.temps.len();
                 let h = self.dt;
-                let y = &self.temps;
-                let k1 = deriv(y);
-                let y2: Vec<f64> = y.iter().zip(&k1).map(|(a, k)| a + h / 2.0 * k).collect();
-                let k2 = deriv(&y2);
-                let y3: Vec<f64> = y.iter().zip(&k2).map(|(a, k)| a + h / 2.0 * k).collect();
-                let k3 = deriv(&y3);
-                let y4: Vec<f64> = y.iter().zip(&k3).map(|(a, k)| a + h * k).collect();
-                let k4 = deriv(&y4);
-                self.temps = y
-                    .iter()
-                    .enumerate()
-                    .map(|(i, a)| a + h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]))
-                    .collect();
+                let [k1, k2, k3, k4, ys, gt] = &mut self.stage[..] else {
+                    unreachable!("RK4 owns six stage buffers");
+                };
+                let deriv = |t: &[f64], gt: &mut Vec<f64>, out: &mut Vec<f64>| {
+                    g.matvec_into(t, gt);
+                    for i in 0..n {
+                        out[i] = (rhs[i] - gt[i]) / cap[i];
+                    }
+                };
+                deriv(&self.temps, gt, k1);
+                for i in 0..n {
+                    ys[i] = self.temps[i] + h / 2.0 * k1[i];
+                }
+                deriv(&ys[..], gt, k2);
+                for i in 0..n {
+                    ys[i] = self.temps[i] + h / 2.0 * k2[i];
+                }
+                deriv(&ys[..], gt, k3);
+                for i in 0..n {
+                    ys[i] = self.temps[i] + h * k3[i];
+                }
+                deriv(&ys[..], gt, k4);
+                for i in 0..n {
+                    self.temps[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+                }
             }
         }
-        self.time += self.dt;
         Ok(())
     }
 

@@ -12,6 +12,10 @@ fn net() -> RcNetwork {
 }
 
 proptest! {
+    // Raised from the vendored default of 64 now that transient stepping is
+    // sparse (ROADMAP open item): the invariants deserve a denser sample.
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
     #[test]
     fn lu_solves_random_dominant_systems(
         n in 2usize..24,

@@ -1,0 +1,141 @@
+//! Golden-determinism guard for the NoC step loop.
+//!
+//! The per-cycle behaviour of `Network::step` — statistics, in-flight
+//! occupancy and the exact delivered-packet sequences — was recorded on the
+//! seed (pre-worklist) implementation for one traffic scenario per chip
+//! configuration A–E. Any refactor of the step loop must reproduce these
+//! fingerprints bit-for-bit: the event-skipping optimization is required to
+//! be cycle-for-cycle identical to the seed semantics, not merely
+//! statistically equivalent.
+//!
+//! If this test ever fails after an intentional semantic change to the
+//! router microarchitecture (not an optimization!), regenerate the constants
+//! with `cargo test --test golden_determinism -- --nocapture` after
+//! temporarily enabling the `print` below.
+
+use hotnoc::core::configs::{ChipConfigId, ChipSpec, Fidelity};
+use hotnoc::noc::{Coord, Mesh, Network, NocConfig, TrafficGenerator, TrafficPattern};
+
+/// FNV-1a, the same stable 64-bit fold the vendored proptest uses for seeds.
+struct Fingerprint(u64);
+
+impl Fingerprint {
+    fn new() -> Self {
+        Fingerprint(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// One deterministic scenario per chip configuration: the config's mesh,
+/// hotspot traffic aimed at its hottest tile, config-keyed RNG seed.
+fn scenario(id: ChipConfigId) -> (Mesh, TrafficGenerator) {
+    let spec = ChipSpec::of(id, Fidelity::Quick);
+    let side = spec.mesh_side;
+    let mesh = Mesh::square(side).expect("mesh");
+    let hot = spec.hottest_tile();
+    let hot_coord = Coord::new((hot % side) as u8, (hot / side) as u8);
+    let band = spec.warm_band_row() as u8;
+    let pattern = TrafficPattern::Hotspot {
+        nodes: vec![
+            hot_coord,
+            Coord::new(0, band),
+            Coord::new(side as u8 - 1, band),
+        ],
+        fraction: 0.5,
+    };
+    let gen = TrafficGenerator::new(mesh, pattern, 0.15, 4, 0x5EED + id as u64);
+    (mesh, gen)
+}
+
+/// Drives the scenario and folds every observable per-cycle quantity into
+/// one 64-bit fingerprint.
+fn run_fingerprint(id: ChipConfigId) -> u64 {
+    let (mesh, mut gen) = scenario(id);
+    let mut net = Network::new(mesh, NocConfig::default());
+    let mut fp = Fingerprint::new();
+
+    // Phase 1: open-loop injection, fingerprinting per-cycle stats.
+    for _ in 0..600 {
+        gen.tick(&mut net);
+        net.step();
+        let s = net.stats();
+        fp.u64(s.packets_injected);
+        fp.u64(s.packets_delivered);
+        fp.u64(s.flits_injected);
+        fp.u64(s.flits_ejected);
+        fp.u64(s.total_packet_latency);
+        fp.u64(s.max_packet_latency);
+        fp.u64(s.flit_hops);
+        fp.u64(net.in_flight());
+    }
+
+    // Phase 2: drain, still fingerprinting every cycle.
+    let mut budget = 50_000u64;
+    while net.in_flight() > 0 && budget > 0 {
+        net.step();
+        fp.u64(net.stats().flits_ejected);
+        fp.u64(net.in_flight());
+        budget -= 1;
+    }
+    assert_eq!(net.in_flight(), 0, "{id}: network failed to drain");
+
+    // Phase 3: idle tail — trailing credits must land identically, and an
+    // idle network must still advance its clock.
+    for _ in 0..50 {
+        net.step();
+    }
+    fp.u64(net.cycle());
+
+    // The delivered-packet sequences, node by node in delivery order.
+    for rec in net.drain_all_delivered() {
+        fp.u64(rec.packet_id.0);
+        fp.u64(rec.src.index() as u64);
+        fp.u64(rec.dst.index() as u64);
+        fp.u64(rec.class as u64);
+        fp.u64(rec.inject_cycle);
+        fp.u64(rec.eject_cycle);
+    }
+
+    let s = net.stats();
+    fp.u64(s.packets_injected);
+    fp.u64(s.packets_delivered);
+    fp.u64(s.latency_histogram.count());
+    for &b in s.latency_histogram.buckets() {
+        fp.u64(b);
+    }
+    fp.0
+}
+
+/// Fingerprints recorded from the seed `Network::step` implementation
+/// (commit e1b3fa3) for configurations A–E.
+const GOLDEN: [(ChipConfigId, u64); 5] = [
+    (ChipConfigId::A, 0x84b375b6989e4099),
+    (ChipConfigId::B, 0x4bc0b1ce92c61231),
+    (ChipConfigId::C, 0x6026d66b2136474c),
+    (ChipConfigId::D, 0xd163f0425f6583e6),
+    (ChipConfigId::E, 0x35062f3913c02104),
+];
+
+#[test]
+fn step_loop_reproduces_seed_semantics_on_configs_a_to_e() {
+    let results: Vec<(ChipConfigId, u64)> = GOLDEN
+        .iter()
+        .map(|&(id, _)| (id, run_fingerprint(id)))
+        .collect();
+    for (id, got) in &results {
+        println!("config {id}: fingerprint {got:#018x}");
+    }
+    for ((id, expected), (_, got)) in GOLDEN.iter().zip(&results) {
+        assert_eq!(
+            got, expected,
+            "config {id}: step loop diverged from the seed semantics \
+             (expected {expected:#018x}, got {got:#018x})"
+        );
+    }
+}

@@ -2,20 +2,43 @@
 //!
 //! Implements the subset the bench harnesses use: `Criterion::bench_function`,
 //! `benchmark_group` (with `sample_size` and `finish`), `Bencher::iter`,
-//! `black_box`, and the `criterion_group!`/`criterion_main!` macros. Each
-//! benchmark is warmed up briefly, then timed over a fixed wall-clock budget;
-//! the mean iteration time is printed. No statistical analysis, HTML reports,
-//! or regression detection — swap the path dependency for the registry crate
-//! when a registry is reachable; the bench sources compile unchanged.
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros — plus a
+//! statistics layer the registry crate would provide: every benchmark is
+//! warmed up, measured as a series of fixed-size batches, IQR-trimmed for
+//! outliers, and summarized as mean/median/p95/std-dev. `criterion_main!`
+//! additionally writes one machine-readable `BENCH_<group>.json` per id
+//! prefix (see [`report`]) so perf baselines can be committed and diffed.
+//!
+//! Environment knobs (both optional):
+//!
+//! * `HOTNOC_BENCH_BUDGET_MS` — measurement budget per benchmark in
+//!   milliseconds (default 300). CI smoke jobs set this low.
+//! * `HOTNOC_BENCH_DIR` — directory receiving `BENCH_*.json` (default `.`).
 
+pub mod report;
+
+use report::BenchRecord;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-/// Total measurement budget per benchmark (after warm-up).
-const MEASURE_BUDGET: Duration = Duration::from_millis(300);
-/// Warm-up budget per benchmark.
-const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+/// Target number of timing samples per benchmark.
+const SAMPLE_TARGET: u32 = 64;
+/// Hard cap on collected samples (guards against a budget raise).
+const SAMPLE_CAP: usize = 512;
+
+/// Completed measurements, drained by [`write_reports`].
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+fn measure_budget() -> Duration {
+    let ms = std::env::var("HOTNOC_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300)
+        .max(1);
+    Duration::from_millis(ms)
+}
 
 /// Stand-in for `criterion::Criterion`.
 #[derive(Debug, Default)]
@@ -95,18 +118,24 @@ fn time_batch<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
 }
 
 fn run_bench<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
-    // Warm up and estimate a batch size that keeps batches around 10 ms.
+    let budget = measure_budget();
+    let warmup = (budget / 6).max(Duration::from_millis(5));
+
+    // Warm up caches/allocators and estimate the per-iteration cost.
     let mut per_iter = time_batch(&mut f, 1);
     let warm_start = Instant::now();
-    while warm_start.elapsed() < WARMUP_BUDGET && per_iter < Duration::from_millis(10) {
+    while warm_start.elapsed() < warmup && per_iter < budget / 10 {
         per_iter = time_batch(&mut f, 1);
     }
-    let batch = (Duration::from_millis(10).as_nanos() / per_iter.as_nanos().max(1))
-        .clamp(1, 1_000_000) as u64;
 
+    // Size batches so roughly SAMPLE_TARGET of them fill the budget.
+    let per_sample = budget.as_nanos() / SAMPLE_TARGET as u128;
+    let batch = (per_sample / per_iter.as_nanos().max(1)).clamp(1, 10_000_000) as u64;
+
+    let mut samples_ns: Vec<f64> = Vec::new();
     let mut total = Duration::ZERO;
     let mut iters: u64 = 0;
-    while total < MEASURE_BUDGET {
+    while total < budget && samples_ns.len() < SAMPLE_CAP {
         let elapsed = time_batch(&mut f, batch);
         if elapsed.is_zero() {
             // The closure never called `Bencher::iter` (or it is free):
@@ -114,15 +143,92 @@ fn run_bench<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
             println!("bench {id:<48} skipped (no Bencher::iter call)");
             return;
         }
+        samples_ns.push(elapsed.as_nanos() as f64 / batch as f64);
         total += elapsed;
         iters += batch;
     }
 
-    let mean_ns = total.as_nanos() as f64 / iters as f64;
+    let record = summarize(id, batch, iters, samples_ns);
     println!(
-        "bench {id:<48} {:>14}/iter ({iters} iters)",
-        fmt_ns(mean_ns)
+        "bench {id:<48} {:>12} median {:>12} p95 {:>10} sd ({} samples, {} trimmed, {iters} iters)",
+        fmt_ns(record.median_ns),
+        fmt_ns(record.p95_ns),
+        fmt_ns(record.stddev_ns),
+        record.samples,
+        record.trimmed,
     );
+    RESULTS.lock().expect("results poisoned").push(record);
+}
+
+/// IQR-trims `samples_ns` and reduces it to a [`BenchRecord`].
+fn summarize(id: &str, batch: u64, iters: u64, mut samples_ns: Vec<f64>) -> BenchRecord {
+    samples_ns.sort_by(f64::total_cmp);
+    let q = |s: &[f64], p: f64| -> f64 {
+        // Nearest-rank on the sorted slice; robust for small sample counts.
+        let idx = ((p * s.len() as f64).ceil() as usize).clamp(1, s.len()) - 1;
+        s[idx]
+    };
+    let raw = samples_ns.len();
+    let (q1, q3) = (q(&samples_ns, 0.25), q(&samples_ns, 0.75));
+    let iqr = q3 - q1;
+    let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let kept: Vec<f64> = samples_ns
+        .iter()
+        .copied()
+        .filter(|&s| (lo..=hi).contains(&s))
+        .collect();
+    let kept = if kept.is_empty() { samples_ns } else { kept };
+
+    let n = kept.len() as f64;
+    let mean = kept.iter().sum::<f64>() / n;
+    let var = kept.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+    BenchRecord {
+        id: id.to_string(),
+        batch_iters: batch,
+        iters,
+        samples: kept.len() as u64,
+        trimmed: (raw - kept.len()) as u64,
+        mean_ns: mean,
+        median_ns: q(&kept, 0.5),
+        p95_ns: q(&kept, 0.95),
+        stddev_ns: var.sqrt(),
+        min_ns: kept[0],
+        max_ns: *kept.last().expect("non-empty"),
+    }
+}
+
+/// Writes one `BENCH_<group>.json` per id prefix (the segment before the
+/// first `/`) into `HOTNOC_BENCH_DIR` (default: the working directory), then
+/// clears the in-process result registry. Called by `criterion_main!`.
+pub fn write_reports() {
+    let mut results = RESULTS.lock().expect("results poisoned");
+    if results.is_empty() {
+        return;
+    }
+    let dir = std::env::var("HOTNOC_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    let mut groups: Vec<(String, Vec<&BenchRecord>)> = Vec::new();
+    for r in results.iter() {
+        let prefix: String =
+            r.id.split('/')
+                .next()
+                .unwrap_or("misc")
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+        match groups.iter_mut().find(|(p, _)| *p == prefix) {
+            Some((_, v)) => v.push(r),
+            None => groups.push((prefix, vec![r])),
+        }
+    }
+    for (prefix, records) in &groups {
+        let path = format!("{dir}/BENCH_{prefix}.json");
+        let json = report::to_json(records);
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("[bench report saved to {path}]"),
+            Err(e) => eprintln!("[failed to save {path}: {e}]"),
+        }
+    }
+    results.clear();
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -149,12 +255,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Entry point running every group, mirroring `criterion::criterion_main!`.
+/// Entry point running every group and writing the `BENCH_*.json` reports,
+/// mirroring `criterion::criterion_main!`.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_reports();
         }
     };
 }
@@ -180,5 +288,28 @@ mod tests {
         group.bench_function("inner", |b| b.iter(|| ran = true));
         group.finish();
         assert!(ran);
+    }
+
+    #[test]
+    fn summarize_orders_quantiles_and_trims_outliers() {
+        let mut samples: Vec<f64> = (0..100).map(|i| 100.0 + i as f64).collect();
+        samples.push(1.0e9); // gross outlier, must be trimmed
+        let r = summarize("t/x", 10, 1000, samples);
+        assert_eq!(r.trimmed, 1);
+        assert_eq!(r.samples, 100);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.median_ns <= r.p95_ns);
+        assert!(r.p95_ns <= r.max_ns);
+        assert!(r.max_ns < 1.0e6, "outlier survived: {}", r.max_ns);
+        assert!(r.stddev_ns > 0.0);
+    }
+
+    #[test]
+    fn summarize_handles_single_sample() {
+        let r = summarize("t/one", 1, 1, vec![42.0]);
+        assert_eq!(r.samples, 1);
+        assert_eq!(r.median_ns, 42.0);
+        assert_eq!(r.p95_ns, 42.0);
+        assert_eq!(r.stddev_ns, 0.0);
     }
 }

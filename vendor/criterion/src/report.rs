@@ -1,0 +1,430 @@
+//! Machine-readable bench reports: the `BENCH_*.json` schema, its writer,
+//! and a strict parser used by CI to validate emitted files.
+//!
+//! Schema (`hotnoc-bench-v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "hotnoc-bench-v1",
+//!   "results": [
+//!     {
+//!       "id": "noc/steps_per_sec/16x16_idle",
+//!       "batch_iters": 128, "iters": 8192, "samples": 61, "trimmed": 3,
+//!       "mean_ns": 1234.5, "median_ns": 1200.0, "p95_ns": 1400.0,
+//!       "stddev_ns": 55.0, "min_ns": 1100.0, "max_ns": 1500.0
+//!     }
+//!   ]
+//! }
+//! ```
+
+/// Current schema identifier.
+pub const SCHEMA: &str = "hotnoc-bench-v1";
+
+/// Summary statistics of one benchmark id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark id (`group/name`).
+    pub id: String,
+    /// Iterations per timing batch.
+    pub batch_iters: u64,
+    /// Total iterations executed during measurement.
+    pub iters: u64,
+    /// Timing samples kept after trimming.
+    pub samples: u64,
+    /// Samples discarded as IQR outliers.
+    pub trimmed: u64,
+    /// Mean per-iteration time, nanoseconds.
+    pub mean_ns: f64,
+    /// Median per-iteration time, nanoseconds.
+    pub median_ns: f64,
+    /// 95th-percentile per-iteration time, nanoseconds.
+    pub p95_ns: f64,
+    /// Per-iteration standard deviation, nanoseconds.
+    pub stddev_ns: f64,
+    /// Fastest kept sample, nanoseconds.
+    pub min_ns: f64,
+    /// Slowest kept sample, nanoseconds.
+    pub max_ns: f64,
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes records to the `hotnoc-bench-v1` JSON document.
+pub fn to_json(records: &[&BenchRecord]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"");
+    s.push_str(SCHEMA);
+    s.push_str("\",\n  \"results\": [");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"id\": \"{}\", \"batch_iters\": {}, \"iters\": {}, \
+             \"samples\": {}, \"trimmed\": {}, \"mean_ns\": {:.3}, \
+             \"median_ns\": {:.3}, \"p95_ns\": {:.3}, \"stddev_ns\": {:.3}, \
+             \"min_ns\": {:.3}, \"max_ns\": {:.3}}}",
+            esc(&r.id),
+            r.batch_iters,
+            r.iters,
+            r.samples,
+            r.trimmed,
+            r.mean_ns,
+            r.median_ns,
+            r.p95_ns,
+            r.stddev_ns,
+            r.min_ns,
+            r.max_ns,
+        ));
+    }
+    s.push_str("\n  ]\n}\n");
+    s
+}
+
+/// Parses and validates a `hotnoc-bench-v1` document, returning its records.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax or schema
+/// violation (wrong schema tag, missing field, non-finite statistic, ...).
+pub fn parse_report(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let doc = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    let Json::Object(fields) = doc else {
+        return Err("top level is not an object".into());
+    };
+    let schema = get_str(&fields, "schema")?;
+    if schema != SCHEMA {
+        return Err(format!("unknown schema {schema:?} (want {SCHEMA:?})"));
+    }
+    let Some(Json::Array(items)) = lookup(&fields, "results") else {
+        return Err("missing \"results\" array".into());
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let Json::Object(f) = item else {
+            return Err(format!("results[{i}] is not an object"));
+        };
+        let ctx = |e: String| format!("results[{i}]: {e}");
+        let num = |k: &str| -> Result<f64, String> {
+            let v = get_num(f, k).map_err(ctx)?;
+            if !v.is_finite() {
+                return Err(format!("results[{i}].{k} is not finite"));
+            }
+            Ok(v)
+        };
+        let int = |k: &str| -> Result<u64, String> {
+            let v = num(k)?;
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(format!("results[{i}].{k} is not a non-negative integer"));
+            }
+            Ok(v as u64)
+        };
+        let rec = BenchRecord {
+            id: get_str(f, "id").map_err(ctx)?.to_string(),
+            batch_iters: int("batch_iters")?,
+            iters: int("iters")?,
+            samples: int("samples")?,
+            trimmed: int("trimmed")?,
+            mean_ns: num("mean_ns")?,
+            median_ns: num("median_ns")?,
+            p95_ns: num("p95_ns")?,
+            stddev_ns: num("stddev_ns")?,
+            min_ns: num("min_ns")?,
+            max_ns: num("max_ns")?,
+        };
+        if rec.id.is_empty() {
+            return Err(format!("results[{i}].id is empty"));
+        }
+        if rec.samples == 0 {
+            return Err(format!("results[{i}].samples is zero"));
+        }
+        if rec.min_ns > rec.median_ns || rec.median_ns > rec.max_ns {
+            return Err(format!("results[{i}]: min/median/max out of order"));
+        }
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// A parsed JSON value (only what the report schema needs; booleans and
+/// nulls are recognized but carry no payload the schema reads).
+enum Json {
+    Null,
+    Bool(#[allow(dead_code)] bool),
+    Num(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+fn lookup<'a>(fields: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_str<'a>(fields: &'a [(String, Json)], key: &str) -> Result<&'a str, String> {
+    match lookup(fields, key) {
+        Some(Json::Str(s)) => Ok(s),
+        Some(_) => Err(format!("field {key:?} is not a string")),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
+fn get_num(fields: &[(String, Json)], key: &str) -> Result<f64, String> {
+    match lookup(fields, key) {
+        Some(Json::Num(v)) => Ok(*v),
+        Some(_) => Err(format!("field {key:?} is not a number")),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
+/// Minimal recursive-descent JSON parser (strict enough for validation).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b" \t\r\n".contains(b))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(&b))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: &str) -> BenchRecord {
+        BenchRecord {
+            id: id.to_string(),
+            batch_iters: 8,
+            iters: 800,
+            samples: 100,
+            trimmed: 2,
+            mean_ns: 123.456,
+            median_ns: 120.0,
+            p95_ns: 150.5,
+            stddev_ns: 9.1,
+            min_ns: 100.0,
+            max_ns: 180.0,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let a = rec("noc/steps_per_sec/16x16_idle");
+        let b = rec("noc/transpose \"quoted\"");
+        let json = to_json(&[&a, &b]);
+        let parsed = parse_report(&json).expect("valid report");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].id, a.id);
+        assert_eq!(parsed[1].id, b.id);
+        assert_eq!(parsed[0].iters, 800);
+        assert!((parsed[0].mean_ns - 123.456).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let json = to_json(&[&rec("a/b")]).replace(SCHEMA, "bogus-v0");
+        assert!(parse_report(&json).unwrap_err().contains("unknown schema"));
+    }
+
+    #[test]
+    fn rejects_missing_field() {
+        let json = to_json(&[&rec("a/b")]).replace("\"p95_ns\"", "\"q95_ns\"");
+        assert!(parse_report(&json).unwrap_err().contains("p95_ns"));
+    }
+
+    #[test]
+    fn rejects_malformed_syntax() {
+        assert!(parse_report("{\"schema\": ").is_err());
+        assert!(parse_report("[]").is_err());
+        assert!(parse_report("{} trailing").is_err());
+    }
+
+    #[test]
+    fn rejects_unordered_stats() {
+        let mut bad = rec("a/b");
+        bad.min_ns = 1.0e9; // above median
+        let json = to_json(&[&bad]);
+        assert!(parse_report(&json).unwrap_err().contains("out of order"));
+    }
+
+    #[test]
+    fn empty_results_are_valid() {
+        let json = to_json(&[]);
+        assert_eq!(parse_report(&json).expect("valid").len(), 0);
+    }
+}
