@@ -1,14 +1,25 @@
 //! Engineering benches for the cycle-accurate NoC simulator: cycle
 //! throughput under synthetic load and saturation behaviour, from the
-//! paper's 4x4 up to the 16x16 meshes the ROADMAP targets. Prints a
+//! paper's 4x4 up to the 64x64 meshes the ROADMAP targets. Prints a
 //! latency/offered-load curve once (the classic NoC characterization).
 //!
-//! `noc/steps_per_sec/16x16_idle` is the headline scaling scenario: the
-//! step loop must track occupancy, not topology size, so an idle large
-//! mesh should cost almost nothing per cycle.
+//! `noc/steps_per_sec/16x16_idle` is the headline scaling scenario for the
+//! occupancy-driven step loop (an idle large mesh must cost almost nothing
+//! per cycle); the `32x32`/`64x64` `_t{1,2,4}` sweeps are the headline for
+//! the striped parallel allocation sweep: identical traffic stepped with
+//! the sweep pinned to 1, 2 and 4 worker threads. Every scenario pins its
+//! thread count explicitly (and records it in the report metadata) so
+//! numbers never silently depend on `HOTNOC_THREADS` or the host's core
+//! count.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hotnoc_noc::{Coord, Mesh, Network, NocConfig, TrafficGenerator, TrafficPattern};
+
+/// Cycles simulated per bench iteration.
+const CYCLES_PER_ITER: usize = 100;
+/// Cycles of open-loop injection before timing starts, so the big-mesh
+/// scenarios measure the saturated steady state rather than the fill ramp.
+const WARMUP_CYCLES: usize = 200;
 
 fn latency_load_curve() {
     println!("\nUniform-random latency/load curve (4x4 mesh, 4-flit packets):");
@@ -19,6 +30,7 @@ fn latency_load_curve() {
     for rate in [0.01, 0.05, 0.1, 0.2, 0.3] {
         let mesh = Mesh::square(4).expect("mesh");
         let mut net = Network::new(mesh, NocConfig::default());
+        net.set_threads(1);
         let mut gen = TrafficGenerator::new(mesh, TrafficPattern::UniformRandom, rate, 4, 7);
         for _ in 0..5_000 {
             gen.tick(&mut net);
@@ -49,22 +61,54 @@ fn hotspot_pattern(side: usize) -> TrafficPattern {
     }
 }
 
+/// Offered load (packets/node/cycle) ~1.5x above the uniform-random
+/// saturation point of a `side`-wide mesh: bisection capacity is
+/// `2*side/N` flits/node/cycle, i.e. `side/(2*N)` packets/node/cycle for
+/// 4-flit packets. Keeps the big meshes fully loaded while bounding how
+/// fast the open-loop source queues grow during a bench run.
+fn near_saturation_rate(side: usize) -> f64 {
+    1.5 * side as f64 / (2.0 * (side * side) as f64)
+}
+
+/// A pre-warmed network + generator pair stepping `CYCLES_PER_ITER` cycles
+/// per bench iteration with the sweep pinned to `threads` workers.
+fn steady_state_scenario(
+    side: usize,
+    pattern: TrafficPattern,
+    rate: f64,
+    seed: u64,
+    threads: usize,
+) -> (Network, TrafficGenerator) {
+    let mesh = Mesh::square(side).expect("mesh");
+    let mut net = Network::new(mesh, NocConfig::default());
+    net.set_threads(threads);
+    let mut gen = TrafficGenerator::new(mesh, pattern, rate, 4, seed);
+    for _ in 0..WARMUP_CYCLES {
+        gen.tick(&mut net);
+        net.step();
+    }
+    (net, gen)
+}
+
 fn bench_router(c: &mut Criterion) {
     latency_load_curve();
 
     let mut group = c.benchmark_group("noc/steps_per_sec");
     for side in [4usize, 5, 8, 16] {
+        group.meta(&format!("{side}x{side}"), 1);
         group.bench_function(format!("{side}x{side}_idle"), |b| {
             let mesh = Mesh::square(side).expect("mesh");
             let mut net = Network::new(mesh, NocConfig::default());
-            b.iter(|| net.run(100));
+            net.set_threads(1);
+            b.iter(|| net.run(CYCLES_PER_ITER as u64));
         });
         group.bench_function(format!("{side}x{side}_loaded"), |b| {
             let mesh = Mesh::square(side).expect("mesh");
             let mut net = Network::new(mesh, NocConfig::default());
+            net.set_threads(1);
             let mut gen = TrafficGenerator::new(mesh, TrafficPattern::UniformRandom, 0.1, 4, 13);
             b.iter(|| {
-                for _ in 0..100 {
+                for _ in 0..CYCLES_PER_ITER {
                     gen.tick(&mut net);
                     net.step();
                 }
@@ -72,17 +116,50 @@ fn bench_router(c: &mut Criterion) {
         });
     }
     for side in [8usize, 16] {
+        group.meta(&format!("{side}x{side}"), 1);
         group.bench_function(format!("{side}x{side}_hotspot"), |b| {
             let mesh = Mesh::square(side).expect("mesh");
             let mut net = Network::new(mesh, NocConfig::default());
+            net.set_threads(1);
             let mut gen = TrafficGenerator::new(mesh, hotspot_pattern(side), 0.05, 4, 29);
             b.iter(|| {
-                for _ in 0..100 {
+                for _ in 0..CYCLES_PER_ITER {
                     gen.tick(&mut net);
                     net.step();
                 }
             });
         });
+    }
+
+    // Scenario-scale sweeps: 32x32 and 64x64 under sustained near-saturation
+    // uniform and hotspot traffic, identical per thread count. The t1/t2/t4
+    // triples answer "what does striping buy on this machine" directly;
+    // `bench_regress` keeps each of them from regressing independently.
+    for side in [32usize, 64] {
+        let rate = near_saturation_rate(side);
+        for threads in [1usize, 2, 4] {
+            group.meta(&format!("{side}x{side}"), threads as u64);
+            group.bench_function(format!("{side}x{side}_loaded_t{threads}"), |b| {
+                let (mut net, mut gen) =
+                    steady_state_scenario(side, TrafficPattern::UniformRandom, rate, 13, threads);
+                b.iter(|| {
+                    for _ in 0..CYCLES_PER_ITER {
+                        gen.tick(&mut net);
+                        net.step();
+                    }
+                });
+            });
+            group.bench_function(format!("{side}x{side}_hotspot_t{threads}"), |b| {
+                let (mut net, mut gen) =
+                    steady_state_scenario(side, hotspot_pattern(side), rate / 2.0, 29, threads);
+                b.iter(|| {
+                    for _ in 0..CYCLES_PER_ITER {
+                        gen.tick(&mut net);
+                        net.step();
+                    }
+                });
+            });
+        }
     }
     group.finish();
 
@@ -90,6 +167,7 @@ fn bench_router(c: &mut Criterion) {
         let mesh = Mesh::square(4).expect("mesh");
         b.iter(|| {
             let mut net = Network::new(mesh, NocConfig::default());
+            net.set_threads(1);
             let mut gen = TrafficGenerator::new(mesh, TrafficPattern::Transpose, 1.0, 4, 3);
             gen.tick(&mut net);
             net.run_until_idle(10_000).expect("drain");

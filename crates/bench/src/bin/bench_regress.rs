@@ -1,0 +1,267 @@
+//! Validates `BENCH_*.json` bench reports and gates performance
+//! regressions against the committed baseline. Grown out of the former
+//! `check_bench_json` validator.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_regress check <BENCH_*.json> [...]
+//! bench_regress compare --baseline <dir> --current <dir> [--threshold-pct <p>]
+//! ```
+//!
+//! `check` validates each file against the `hotnoc-bench-v1`/`-v2` schemas
+//! (CI's bench-smoke job). `compare` matches every `BENCH_*.json` in the
+//! current directory against the file of the same name under the baseline
+//! directory, computes the per-id median-time ratio current/baseline, and
+//! fails (exit 1) if any group's **median ratio** exceeds `1 + p/100`
+//! (default `p = 15`). The median-of-ratios verdict tolerates individual
+//! noisy ids while still catching a broad slowdown; per-id ratios above
+//! the threshold are printed as warnings either way.
+//!
+//! Exit codes: 0 = ok, 1 = regression detected, 2 = usage/IO/schema error.
+
+use criterion::report::{parse_document, BenchReport};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") if args.len() > 1 => check(&args[1..]),
+        Some("compare") => match parse_compare_args(&args[1..]) {
+            Ok((baseline, current, threshold_pct)) => compare(&baseline, &current, threshold_pct),
+            Err(e) => {
+                eprintln!("bench_regress: {e}");
+                usage()
+            }
+        },
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_regress check <BENCH_*.json> [...]\n\
+         \x20      bench_regress compare --baseline <dir> --current <dir> \
+         [--threshold-pct <p>]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_compare_args(args: &[String]) -> Result<(String, String, f64), String> {
+    let (mut baseline, mut current, mut threshold) = (None, None, 15.0f64);
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--baseline" => baseline = Some(value()?),
+            "--current" => current = Some(value()?),
+            "--threshold-pct" => {
+                threshold = value()?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --threshold-pct: {e}"))?;
+                if !threshold.is_finite() || threshold < 0.0 {
+                    return Err("--threshold-pct must be a non-negative number".into());
+                }
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok((
+        baseline.ok_or("missing --baseline <dir>")?,
+        current.ok_or("missing --current <dir>")?,
+        threshold,
+    ))
+}
+
+fn load(path: &Path) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    parse_document(&text)
+}
+
+/// Schema validation over explicit files (the old `check_bench_json`).
+fn check(paths: &[String]) -> ExitCode {
+    let mut ok = true;
+    for path in paths {
+        match load(Path::new(path)) {
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ok = false;
+            }
+            Ok(doc) => {
+                let env = doc
+                    .env
+                    .as_ref()
+                    .map(|e| {
+                        format!(
+                            ", env: threads={} parallelism={} os={}",
+                            e.threads, e.available_parallelism, e.os
+                        )
+                    })
+                    .unwrap_or_default();
+                println!(
+                    "{path}: ok ({}, {} results{env})",
+                    doc.schema,
+                    doc.records.len()
+                );
+                if doc.records.is_empty() {
+                    eprintln!("{path}: INVALID: no results recorded");
+                    ok = false;
+                }
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Baseline comparison over every `BENCH_*.json` group in `current_dir`.
+fn compare(baseline_dir: &str, current_dir: &str, threshold_pct: f64) -> ExitCode {
+    let entries = match std::fs::read_dir(current_dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("bench_regress: cannot read {current_dir}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut names: Vec<String> = entries
+        .filter_map(Result::ok)
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        eprintln!("bench_regress: no BENCH_*.json files in {current_dir}");
+        return ExitCode::from(2);
+    }
+
+    let limit = 1.0 + threshold_pct / 100.0;
+    let mut regressed = false;
+    let mut hard_error = false;
+
+    // A baseline group with no current counterpart means the gate silently
+    // lost coverage (bench renamed, report failed to save) — hard error.
+    if let Ok(base_entries) = std::fs::read_dir(baseline_dir) {
+        for name in base_entries
+            .filter_map(Result::ok)
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        {
+            if !names.contains(&name) {
+                eprintln!(
+                    "bench_regress: baseline group {name} has no report in \
+                     {current_dir} — gate coverage lost"
+                );
+                hard_error = true;
+            }
+        }
+    }
+    for name in &names {
+        let cur_path = Path::new(current_dir).join(name);
+        let base_path = Path::new(baseline_dir).join(name);
+        let cur = match load(&cur_path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("{}: INVALID: {e}", cur_path.display());
+                hard_error = true;
+                continue;
+            }
+        };
+        if !base_path.exists() {
+            println!("{name}: no baseline committed — skipping (new group?)");
+            continue;
+        }
+        let base = match load(&base_path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("{}: INVALID: {e}", base_path.display());
+                hard_error = true;
+                continue;
+            }
+        };
+
+        if let (Some(b), Some(c)) = (&base.env, &cur.env) {
+            if b.available_parallelism != c.available_parallelism || b.os != c.os {
+                println!(
+                    "{name}: note: baseline env (parallelism={}, {}) differs from \
+                     current (parallelism={}, {}) — ratios are cross-machine",
+                    b.available_parallelism, b.os, c.available_parallelism, c.os
+                );
+            }
+        }
+
+        let mut ratios: Vec<f64> = Vec::new();
+        let mut new_ids = 0usize;
+        for rec in &cur.records {
+            let Some(b) = base.records.iter().find(|b| b.id == rec.id) else {
+                new_ids += 1;
+                continue;
+            };
+            if b.threads != rec.threads || b.mesh != rec.mesh {
+                println!(
+                    "{name}: note: {} metadata changed (mesh {:?} -> {:?}, \
+                     threads {:?} -> {:?}) — comparing anyway",
+                    rec.id, b.mesh, rec.mesh, b.threads, rec.threads
+                );
+            }
+            let ratio = rec.median_ns / b.median_ns.max(f64::MIN_POSITIVE);
+            if ratio > limit {
+                println!(
+                    "{name}: warn: {} {:.1}% slower ({:.0} ns -> {:.0} ns)",
+                    rec.id,
+                    (ratio - 1.0) * 100.0,
+                    b.median_ns,
+                    rec.median_ns
+                );
+            }
+            ratios.push(ratio);
+        }
+        let dropped = base
+            .records
+            .iter()
+            .filter(|b| !cur.records.iter().any(|c| c.id == b.id))
+            .count();
+        if dropped > 0 {
+            println!("{name}: note: {dropped} baseline id(s) missing from this run");
+        }
+        if ratios.is_empty() {
+            println!("{name}: warn: no common ids with baseline — nothing gated");
+            continue;
+        }
+        ratios.sort_by(f64::total_cmp);
+        let med = median(&ratios);
+        let verdict = if med > limit { "REGRESSED" } else { "ok" };
+        println!(
+            "{name}: {verdict} — median ratio {:.3} over {} ids \
+             (threshold {limit:.3}, {new_ids} new)",
+            med,
+            ratios.len()
+        );
+        if med > limit {
+            regressed = true;
+        }
+    }
+    if hard_error {
+        ExitCode::from(2)
+    } else if regressed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

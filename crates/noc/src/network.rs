@@ -57,9 +57,25 @@ struct CreditEvent {
 /// The router-to-router adjacency is precomputed at construction
 /// (`neighbors`), so the hot loop never re-derives coordinates, and switch
 /// allocation walks a bitmask of occupied input VCs instead of scanning
-/// every `(port, vc)` slot. All of this is behaviourally invisible: the
-/// cycle-for-cycle semantics are identical to a dense 0..n sweep (guarded
-/// by the golden-determinism suite).
+/// every `(port, vc)` slot.
+///
+/// The allocation sweep itself (route computation + switch allocation +
+/// traversal) is a two-phase compute/commit design: the dirty worklist is
+/// partitioned into contiguous router-id stripes, each stripe computes its
+/// routers' route/VC/switch decisions and commits the effects it owns
+/// (buffer pops, outbound-link pushes, NIC ejections), and every effect
+/// that crosses a stripe boundary — credit events to upstream routers and
+/// the network-global counters — is buffered per stripe and committed in
+/// stripe (= ascending router-id) order afterwards. Stripes share no
+/// mutable state, so they run in parallel on the [`minipool`] pool when
+/// more than [`Network::threads`] == 1 workers are configured
+/// (`HOTNOC_THREADS`, default: available parallelism) and the worklist is
+/// large enough to amortize dispatch.
+///
+/// All of this is behaviourally invisible: the cycle-for-cycle semantics
+/// are identical to a dense serial 0..n sweep at every thread count
+/// (guarded by the golden-determinism suite and the parallel-equivalence
+/// property tests).
 pub struct Network {
     cfg: NocConfig,
     mesh: Mesh,
@@ -89,8 +105,14 @@ pub struct Network {
     queued: Vec<bool>,
     /// Scratch buffer for worklist merging (reused across cycles).
     scratch: Vec<u32>,
-    /// Reused per-cycle credit-event buffer (drained every `step`).
-    credit_buf: Vec<CreditEvent>,
+    /// Worker count for the allocation sweep (1 = serial), resolved from
+    /// `HOTNOC_THREADS` (default: available parallelism) at construction.
+    threads: usize,
+    /// Minimum dirty-router count before the sweep is striped across
+    /// threads; below it, dispatch overhead would dominate.
+    par_threshold: usize,
+    /// Reused per-stripe sweep outputs (index = stripe).
+    stripe_outs: Vec<SweepOut>,
     /// Network-wide occupancy totals, kept for O(1) [`Network::in_flight`].
     total_buffered: u64,
     total_on_links: u64,
@@ -105,6 +127,265 @@ fn add_work(work: &mut [u32], queued: &mut [bool], incoming: &mut Vec<u32>, r: u
     if !queued[r] {
         queued[r] = true;
         incoming.push(r as u32);
+    }
+}
+
+/// Dirty-router count below which the sweep always runs serially.
+const DEFAULT_PAR_THRESHOLD: usize = 64;
+
+/// Immutable per-cycle context shared by every stripe of the allocation
+/// sweep.
+struct SweepCtx<'a> {
+    mesh: Mesh,
+    routing: RoutingKind,
+    now: u64,
+    link_latency: u64,
+    num_vcs: usize,
+    /// `5 * num_vcs`, the round-robin arbitration slot count.
+    slots: usize,
+    neighbors: &'a [[Option<u32>; 4]],
+}
+
+/// One stripe of the allocation sweep: a contiguous router-id range
+/// `[base, base + routers.len())` with exclusive access to that range's
+/// per-router state, plus the dirty router ids (`ids`) to visit inside it.
+struct Stripe<'a> {
+    base: usize,
+    ids: &'a [u32],
+    routers: &'a mut [Router],
+    links: &'a mut [[VecDeque<(Flit, u64)>; 4]],
+    nics: &'a mut [Nic],
+    delivered: &'a mut [Vec<DeliveredPacket>],
+    buffered: &'a mut [u32],
+    work: &'a mut [u32],
+}
+
+/// Cross-stripe and network-global effects of one stripe's sweep, buffered
+/// during the (possibly parallel) compute phase and committed serially in
+/// stripe order, which keeps the cycle semantics identical to the dense
+/// serial sweep.
+#[derive(Default)]
+struct SweepOut {
+    /// Credits owed to upstream routers (which may sit in another stripe).
+    credits: Vec<CreditEvent>,
+    /// Delta to fold into the network-wide statistics.
+    stats: NetworkStats,
+    /// Flits popped out of input buffers (`total_buffered` decrement).
+    flits_popped: u64,
+    /// Flits pushed onto outbound links (`total_on_links` increment).
+    flits_to_links: u64,
+}
+
+impl SweepOut {
+    fn reset(&mut self) {
+        self.credits.clear();
+        self.stats = NetworkStats::default();
+        self.flits_popped = 0;
+        self.flits_to_links = 0;
+    }
+}
+
+/// Splits `s` into `cuts.len() + 1` disjoint sub-slices at the given
+/// absolute element indices (strictly ascending, each `< s.len()`).
+fn split_at_cuts<'a, T>(mut s: &'a mut [T], cuts: &[usize]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(cuts.len() + 1);
+    let mut prev = 0usize;
+    for &c in cuts {
+        let (head, tail) = s.split_at_mut(c - prev);
+        out.push(head);
+        s = tail;
+        prev = c;
+    }
+    out.push(s);
+    out
+}
+
+/// Route computation + switch allocation + traversal for every dirty router
+/// in one stripe (the compute phase of the two-phase sweep). Touches only
+/// state the stripe owns; every effect that crosses a stripe boundary is
+/// deferred into `out` for the ordered commit phase.
+fn sweep_stripe(ctx: &SweepCtx<'_>, stripe: &mut Stripe<'_>, out: &mut SweepOut) {
+    let num_vcs = ctx.num_vcs;
+    for &r_global in stripe.ids {
+        let r_global = r_global as usize;
+        let i = r_global - stripe.base;
+        if stripe.buffered[i] == 0 {
+            continue;
+        }
+        let coord = ctx.mesh.coord(NodeId::new(r_global as u16));
+        let router = &mut stripe.routers[i];
+
+        // Route computation for head flits at the front of idle VCs, plus
+        // the occupancy mask switch allocation walks: bit
+        // `port * num_vcs + vc` is set iff that input VC is Active with at
+        // least one buffered flit (the only slots that can ever win
+        // arbitration).
+        let mut occupied: u64 = 0;
+        for port in 0..5 {
+            for vc in 0..num_vcs {
+                let ivc = &mut router.inputs[port].vcs[vc];
+                if matches!(ivc.state, VcState::Idle) {
+                    let Some(front) = ivc.buf.front() else {
+                        continue;
+                    };
+                    if front.is_head() {
+                        let dst = ctx.mesh.coord(front.dst);
+                        let out_dir = ctx.routing.next_hop(coord, dst);
+                        ivc.state = VcState::Active {
+                            out_dir,
+                            flits_left: front.len,
+                        };
+                        router.activity.routes_computed += 1;
+                    } else {
+                        continue;
+                    }
+                } else if ivc.buf.is_empty() {
+                    continue;
+                }
+                occupied |= 1 << (port * num_vcs + vc);
+            }
+        }
+        if occupied == 0 {
+            continue;
+        }
+
+        // Switch allocation: at most one flit per output port and one per
+        // input port each cycle, round-robin among requesters. The two
+        // masked passes visit exactly the occupied slots the dense scan
+        // would, in the same rotated order.
+        let mut input_used = [false; 5];
+        for out_dir in Direction::ALL {
+            let d = out_dir.index();
+            let start = router.outputs[d].rr_ptr % ctx.slots;
+            let mut winner: Option<(usize, usize)> = None;
+            let above = occupied & (!0u64 << start);
+            let below = occupied & !(!0u64 << start);
+            'scan: for half in [above, below] {
+                let mut m = half;
+                while m != 0 {
+                    let slot = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let (port, vc) = (slot / num_vcs, slot % num_vcs);
+                    if input_used[port] {
+                        continue;
+                    }
+                    let ivc = &router.inputs[port].vcs[vc];
+                    let VcState::Active { out_dir: od, .. } = ivc.state else {
+                        unreachable!("masked slot must be active")
+                    };
+                    if od != out_dir {
+                        continue;
+                    }
+                    // Wormhole VC allocation: only the owning input VC may
+                    // send on an allocated outbound channel, and a free
+                    // channel can only be claimed by a head flit.
+                    let front = ivc.buf.front().expect("masked slot is non-empty");
+                    match router.outputs[d].vc_owner[vc] {
+                        None => {
+                            if !front.is_head() {
+                                continue;
+                            }
+                        }
+                        Some(owner) => {
+                            if owner != (port as u8, vc as u8) {
+                                continue;
+                            }
+                        }
+                    }
+                    // Body/tail flits may only move while credits (or the
+                    // ejection port) allow.
+                    if out_dir != Direction::Local && router.outputs[d].credits[vc] == 0 {
+                        continue;
+                    }
+                    winner = Some((port, vc));
+                    break 'scan;
+                }
+            }
+            let Some((port, vc)) = winner else { continue };
+            input_used[port] = true;
+            router.outputs[d].rr_ptr = (port * num_vcs + vc + 1) % ctx.slots;
+            router.activity.arbitrations += 1;
+
+            let ivc = &mut router.inputs[port].vcs[vc];
+            let flit = ivc.buf.pop_front().expect("winner has a flit");
+            stripe.buffered[i] -= 1;
+            out.flits_popped += 1;
+            stripe.work[i] -= 1;
+            // Acquire/release the outbound wormhole channel.
+            router.outputs[d].vc_owner[vc] = if flit.is_tail() {
+                None
+            } else if flit.is_head() {
+                Some((port as u8, vc as u8))
+            } else {
+                router.outputs[d].vc_owner[vc]
+            };
+            let ivc = &mut router.inputs[port].vcs[vc];
+            match &mut ivc.state {
+                VcState::Active { flits_left, .. } => {
+                    *flits_left -= 1;
+                    if *flits_left == 0 {
+                        ivc.state = VcState::Idle;
+                    }
+                }
+                VcState::Idle => unreachable!("winner VC must be active"),
+            }
+            let drained = ivc.buf.is_empty() || matches!(ivc.state, VcState::Idle);
+            if drained {
+                occupied &= !(1 << (port * num_vcs + vc));
+            }
+            router.activity.buffer_reads += 1;
+            router.activity.xbar_traversals += 1;
+            let out_port = &mut router.outputs[d];
+            router.activity.bit_transitions +=
+                (out_port.last_payload ^ flit.payload).count_ones() as u64;
+            out_port.last_payload = flit.payload;
+            router.activity.link_flits[d] += 1;
+
+            // Return a credit to whoever fed this input buffer. The
+            // upstream router may live in another stripe, so the event is
+            // deferred to the ordered commit.
+            if port != Direction::Local.index() {
+                let in_dir = Direction::ALL[port];
+                let upstream_id = ctx.neighbors[r_global][in_dir.index()]
+                    .expect("flit arrived from a mesh neighbor")
+                    as usize;
+                out.credits.push(CreditEvent {
+                    router: upstream_id,
+                    out_port: in_dir.opposite().index(),
+                    vc: flit.vc,
+                    at: ctx.now + 1,
+                });
+            }
+
+            if out_dir == Direction::Local {
+                // Ejection: hand to the NIC; completed packets go to the
+                // application pickup queue.
+                let nic = &mut stripe.nics[i];
+                if let Some((packet, at)) = nic.eject(flit, ctx.now) {
+                    let record = DeliveredPacket {
+                        packet_id: packet.id,
+                        src: packet.src,
+                        dst: packet.dst,
+                        class: packet.class,
+                        inject_cycle: flit.inject_cycle,
+                        eject_cycle: at,
+                    };
+                    out.stats.packets_delivered += 1;
+                    let lat = record.latency();
+                    out.stats.total_packet_latency += lat;
+                    out.stats.max_packet_latency = out.stats.max_packet_latency.max(lat);
+                    out.stats.latency_histogram.record(lat);
+                    stripe.delivered[i].push(record);
+                }
+                out.stats.flits_ejected += 1;
+            } else {
+                router.outputs[d].credits[vc] -= 1;
+                stripe.links[i][d].push_back((flit, ctx.now + ctx.link_latency));
+                out.flits_to_links += 1;
+                stripe.work[i] += 1;
+                out.stats.flit_hops += 1;
+            }
+        }
     }
 }
 
@@ -168,7 +449,9 @@ impl Network {
             incoming: Vec::new(),
             queued: vec![false; n],
             scratch: Vec::new(),
-            credit_buf: Vec::new(),
+            threads: minipool::configured_threads(),
+            par_threshold: DEFAULT_PAR_THRESHOLD,
+            stripe_outs: Vec::new(),
             total_buffered: 0,
             total_on_links: 0,
             total_nic_queued: 0,
@@ -401,15 +684,14 @@ impl Network {
         for &r in &worklist {
             let r = r as usize;
             let nic = &mut self.nics[r];
-            let Some(&flit) = nic.inject_queue.front() else {
+            let Some(&flit) = nic.peek_inject() else {
                 continue;
             };
             let router = &mut self.routers[r];
             let local = Direction::Local.index();
             let vc_buf_len = router.inputs[local].vcs[flit.vc as usize].buf.len();
             if vc_buf_len < self.cfg.buffer_depth as usize {
-                nic.inject_queue.pop_front();
-                nic.flits_injected += 1;
+                nic.take_inject();
                 router.accept_flit(Direction::Local, flit, self.cfg.buffer_depth);
                 // One work unit moves from the NIC queue to the buffers.
                 self.total_nic_queued -= 1;
@@ -425,205 +707,132 @@ impl Network {
         self.merge_worklist();
         let worklist = std::mem::take(&mut self.worklist);
 
-        // 4. Route computation + switch allocation + traversal.
-        let num_vcs = self.cfg.num_vcs as usize;
-        let slots = 5 * num_vcs;
-        for &r in &worklist {
-            let r = r as usize;
-            if self.buffered[r] == 0 {
-                continue;
+        // 4. Route computation + switch allocation + traversal: the
+        //    two-phase compute/commit sweep. The dirty worklist is cut into
+        //    contiguous router-id stripes with equal dirty-router counts;
+        //    each stripe computes its routers' decisions and commits the
+        //    effects it owns, deferring cross-stripe effects into its
+        //    `SweepOut`. With one stripe this runs inline (the serial
+        //    path); with more, stripes run on the minipool workers.
+        let nstripes = if self.threads > 1 && worklist.len() >= self.par_threshold {
+            self.threads.min(worklist.len())
+        } else {
+            1
+        };
+        while self.stripe_outs.len() < nstripes {
+            self.stripe_outs.push(SweepOut::default());
+        }
+        let ctx = SweepCtx {
+            mesh: self.mesh,
+            routing: self.routing,
+            now,
+            link_latency: self.cfg.link_latency as u64,
+            num_vcs: self.cfg.num_vcs as usize,
+            slots: 5 * self.cfg.num_vcs as usize,
+            neighbors: &self.neighbors,
+        };
+        if nstripes == 1 {
+            let out = &mut self.stripe_outs[0];
+            out.reset();
+            let mut stripe = Stripe {
+                base: 0,
+                ids: &worklist,
+                routers: &mut self.routers,
+                links: &mut self.links,
+                nics: &mut self.nics,
+                delivered: &mut self.delivered,
+                buffered: &mut self.buffered,
+                work: &mut self.work,
+            };
+            sweep_stripe(&ctx, &mut stripe, out);
+        } else {
+            // Stripe k owns worklist segment [k*len/n, (k+1)*len/n); the
+            // router-id space is cut at each segment's first dirty id so
+            // stripes own disjoint contiguous id ranges.
+            let len = worklist.len();
+            let cuts: Vec<usize> = (1..nstripes)
+                .map(|k| worklist[k * len / nstripes] as usize)
+                .collect();
+            let outs = &mut self.stripe_outs[..nstripes];
+            for out in outs.iter_mut() {
+                out.reset();
             }
-            let coord = self.mesh.coord(NodeId::new(r as u16));
-            let router = &mut self.routers[r];
-
-            // Route computation for head flits at the front of idle VCs,
-            // plus the occupancy mask switch allocation walks: bit
-            // `port * num_vcs + vc` is set iff that input VC is Active with
-            // at least one buffered flit (the only slots that can ever win
-            // arbitration).
-            let mut occupied: u64 = 0;
-            for port in 0..5 {
-                for vc in 0..num_vcs {
-                    let ivc = &mut router.inputs[port].vcs[vc];
-                    if matches!(ivc.state, VcState::Idle) {
-                        let Some(front) = ivc.buf.front() else {
-                            continue;
-                        };
-                        if front.is_head() {
-                            let dst = self.mesh.coord(front.dst);
-                            let out_dir = self.routing.next_hop(coord, dst);
-                            ivc.state = VcState::Active {
-                                out_dir,
-                                flits_left: front.len,
-                            };
-                            router.activity.routes_computed += 1;
-                        } else {
-                            continue;
-                        }
-                    } else if ivc.buf.is_empty() {
-                        continue;
-                    }
-                    occupied |= 1 << (port * num_vcs + vc);
-                }
+            let mut stripes: Vec<Stripe<'_>> = Vec::with_capacity(nstripes);
+            let pieces = split_at_cuts(&mut self.routers, &cuts)
+                .into_iter()
+                .zip(split_at_cuts(&mut self.links, &cuts))
+                .zip(split_at_cuts(&mut self.nics, &cuts))
+                .zip(split_at_cuts(&mut self.delivered, &cuts))
+                .zip(split_at_cuts(&mut self.buffered, &cuts))
+                .zip(split_at_cuts(&mut self.work, &cuts));
+            for (k, (((((routers, links), nics), delivered), buffered), work)) in pieces.enumerate()
+            {
+                stripes.push(Stripe {
+                    base: if k == 0 { 0 } else { cuts[k - 1] },
+                    ids: &worklist[k * len / nstripes..(k + 1) * len / nstripes],
+                    routers,
+                    links,
+                    nics,
+                    delivered,
+                    buffered,
+                    work,
+                });
             }
-            if occupied == 0 {
-                continue;
-            }
-
-            // Switch allocation: at most one flit per output port and one
-            // per input port each cycle, round-robin among requesters. The
-            // two masked passes visit exactly the occupied slots the dense
-            // scan would, in the same rotated order.
-            let mut input_used = [false; 5];
-            for out_dir in Direction::ALL {
-                let d = out_dir.index();
-                let start = router.outputs[d].rr_ptr % slots;
-                let mut winner: Option<(usize, usize)> = None;
-                let above = occupied & (!0u64 << start);
-                let below = occupied & !(!0u64 << start);
-                'scan: for half in [above, below] {
-                    let mut m = half;
-                    while m != 0 {
-                        let slot = m.trailing_zeros() as usize;
-                        m &= m - 1;
-                        let (port, vc) = (slot / num_vcs, slot % num_vcs);
-                        if input_used[port] {
-                            continue;
-                        }
-                        let ivc = &router.inputs[port].vcs[vc];
-                        let VcState::Active { out_dir: od, .. } = ivc.state else {
-                            unreachable!("masked slot must be active")
-                        };
-                        if od != out_dir {
-                            continue;
-                        }
-                        // Wormhole VC allocation: only the owning input VC
-                        // may send on an allocated outbound channel, and a
-                        // free channel can only be claimed by a head flit.
-                        let front = ivc.buf.front().expect("masked slot is non-empty");
-                        match router.outputs[d].vc_owner[vc] {
-                            None => {
-                                if !front.is_head() {
-                                    continue;
-                                }
-                            }
-                            Some(owner) => {
-                                if owner != (port as u8, vc as u8) {
-                                    continue;
-                                }
-                            }
-                        }
-                        // Body/tail flits may only move while credits (or
-                        // the ejection port) allow.
-                        if out_dir != Direction::Local && router.outputs[d].credits[vc] == 0 {
-                            continue;
-                        }
-                        winner = Some((port, vc));
-                        break 'scan;
-                    }
-                }
-                let Some((port, vc)) = winner else { continue };
-                input_used[port] = true;
-                router.outputs[d].rr_ptr = (port * num_vcs + vc + 1) % slots;
-                router.activity.arbitrations += 1;
-
-                let ivc = &mut router.inputs[port].vcs[vc];
-                let flit = ivc.buf.pop_front().expect("winner has a flit");
-                self.buffered[r] -= 1;
-                self.total_buffered -= 1;
-                self.work[r] -= 1;
-                // Acquire/release the outbound wormhole channel.
-                router.outputs[d].vc_owner[vc] = if flit.is_tail() {
-                    None
-                } else if flit.is_head() {
-                    Some((port as u8, vc as u8))
-                } else {
-                    router.outputs[d].vc_owner[vc]
-                };
-                let ivc = &mut router.inputs[port].vcs[vc];
-                match &mut ivc.state {
-                    VcState::Active { flits_left, .. } => {
-                        *flits_left -= 1;
-                        if *flits_left == 0 {
-                            ivc.state = VcState::Idle;
-                        }
-                    }
-                    VcState::Idle => unreachable!("winner VC must be active"),
-                }
-                let drained = ivc.buf.is_empty() || matches!(ivc.state, VcState::Idle);
-                if drained {
-                    occupied &= !(1 << (port * num_vcs + vc));
-                }
-                router.activity.buffer_reads += 1;
-                router.activity.xbar_traversals += 1;
-                let out = &mut router.outputs[d];
-                router.activity.bit_transitions +=
-                    (out.last_payload ^ flit.payload).count_ones() as u64;
-                out.last_payload = flit.payload;
-                router.activity.link_flits[d] += 1;
-
-                // Return a credit to whoever fed this input buffer.
-                if port != Direction::Local.index() {
-                    let in_dir = Direction::ALL[port];
-                    let upstream_id = self.neighbors[r][in_dir.index()]
-                        .expect("flit arrived from a mesh neighbor")
-                        as usize;
-                    self.credit_buf.push(CreditEvent {
-                        router: upstream_id,
-                        out_port: in_dir.opposite().index(),
-                        vc: flit.vc,
-                        at: now + 1,
+            let pool = minipool::global();
+            pool.ensure_workers(nstripes - 1);
+            let ctx = &ctx;
+            pool.scope(|s| {
+                for (stripe, out) in stripes.into_iter().zip(outs.iter_mut()) {
+                    s.spawn(move || {
+                        let mut stripe = stripe;
+                        sweep_stripe(ctx, &mut stripe, out);
                     });
                 }
-
-                if out_dir == Direction::Local {
-                    // Ejection: hand to the NIC; completed packets go to the
-                    // application pickup queue.
-                    let nic = &mut self.nics[r];
-                    if let Some((packet, at)) = nic.eject(flit, now) {
-                        let record = DeliveredPacket {
-                            packet_id: packet.id,
-                            src: packet.src,
-                            dst: packet.dst,
-                            class: packet.class,
-                            inject_cycle: flit.inject_cycle,
-                            eject_cycle: at,
-                        };
-                        self.stats.packets_delivered += 1;
-                        let lat = record.latency();
-                        self.stats.total_packet_latency += lat;
-                        self.stats.max_packet_latency = self.stats.max_packet_latency.max(lat);
-                        self.stats.latency_histogram.record(lat);
-                        self.delivered[r].push(record);
-                    }
-                    self.stats.flits_ejected += 1;
-                } else {
-                    router.outputs[d].credits[vc] -= 1;
-                    self.links[r][d].push_back((flit, now + self.cfg.link_latency as u64));
-                    self.total_on_links += 1;
-                    self.work[r] += 1;
-                    self.stats.flit_hops += 1;
-                }
-            }
+            });
         }
         self.worklist = worklist;
 
-        let mut credit_buf = std::mem::take(&mut self.credit_buf);
-        for ev in credit_buf.drain(..) {
-            self.routers[ev.router].outputs[ev.out_port]
-                .credit_queue
-                .push_back((ev.vc, ev.at));
-            add_work(
-                &mut self.work,
-                &mut self.queued,
-                &mut self.incoming,
-                ev.router,
-                1,
-            );
+        // Commit phase: fold each stripe's deferred effects in stripe
+        // (= ascending router-id) order, reproducing exactly the sequence
+        // the dense serial sweep would have produced.
+        for out in &mut self.stripe_outs[..nstripes] {
+            self.stats.merge(&out.stats);
+            self.total_buffered -= out.flits_popped;
+            self.total_on_links += out.flits_to_links;
+            for ev in out.credits.drain(..) {
+                self.routers[ev.router].outputs[ev.out_port]
+                    .credit_queue
+                    .push_back((ev.vc, ev.at));
+                add_work(
+                    &mut self.work,
+                    &mut self.queued,
+                    &mut self.incoming,
+                    ev.router,
+                    1,
+                );
+            }
         }
-        self.credit_buf = credit_buf;
 
         self.cycle += 1;
+    }
+
+    /// Worker threads the allocation sweep may use (1 = always serial).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Sets the allocation sweep's worker-thread count (clamped to
+    /// `[1, minipool::MAX_WORKERS]`). The simulation result is bit-identical
+    /// at every thread count; this only trades wall-clock for cores.
+    pub fn set_threads(&mut self, n: usize) {
+        self.threads = n.clamp(1, minipool::MAX_WORKERS);
+    }
+
+    /// Sets the minimum dirty-router count before the sweep is striped
+    /// across threads (default 64). Exposed so the parallel-equivalence
+    /// tests and benches can force the parallel path on small meshes.
+    pub fn set_par_threshold(&mut self, n: usize) {
+        self.par_threshold = n.max(1);
     }
 
     /// Runs for exactly `cycles` cycles.

@@ -26,6 +26,22 @@ impl Nic {
         }
     }
 
+    /// The next flit waiting to enter the router's local port, if any.
+    pub fn peek_inject(&self) -> Option<&Flit> {
+        self.inject_queue.front()
+    }
+
+    /// Removes the flit returned by [`Nic::peek_inject`] and counts it as
+    /// injected. Called by the network once the router confirmed buffer
+    /// space for it.
+    pub fn take_inject(&mut self) -> Option<Flit> {
+        let flit = self.inject_queue.pop_front();
+        if flit.is_some() {
+            self.flits_injected += 1;
+        }
+        flit
+    }
+
     /// Accepts an ejected flit; returns the completed packet (and its
     /// delivery cycle) when the tail arrives.
     pub fn eject(&mut self, flit: Flit, now: u64) -> Option<(Packet, u64)> {

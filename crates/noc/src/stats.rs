@@ -120,6 +120,19 @@ impl LatencyHistogram {
         &self.buckets
     }
 
+    /// Folds another histogram into this one (bucket-wise addition).
+    /// Commutative and associative, so per-stripe histograms from the
+    /// parallel sweep merge into the same totals in any order.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (slot, &b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *slot += b;
+        }
+        self.count += other.count;
+    }
+
     /// An upper bound on the `q`-quantile latency (0 < q <= 1): the
     /// exclusive upper edge of the bucket containing that quantile.
     /// `None` before any sample.
@@ -165,6 +178,20 @@ impl NetworkStats {
     pub fn mean_latency(&self) -> Option<f64> {
         (self.packets_delivered > 0)
             .then(|| self.total_packet_latency as f64 / self.packets_delivered as f64)
+    }
+
+    /// Accumulates a delta produced by one stripe of the parallel sweep.
+    /// Every field is a commutative fold (sums, max, bucket-wise histogram
+    /// addition), so the merged totals do not depend on stripe order.
+    pub fn merge(&mut self, delta: &NetworkStats) {
+        self.packets_injected += delta.packets_injected;
+        self.packets_delivered += delta.packets_delivered;
+        self.flits_injected += delta.flits_injected;
+        self.flits_ejected += delta.flits_ejected;
+        self.total_packet_latency += delta.total_packet_latency;
+        self.max_packet_latency = self.max_packet_latency.max(delta.max_packet_latency);
+        self.flit_hops += delta.flit_hops;
+        self.latency_histogram.merge(&delta.latency_histogram);
     }
 
     /// Delivered throughput in flits per cycle over `cycles`.
@@ -296,6 +323,51 @@ mod tests {
         assert_eq!(h.quantile_upper_bound(0.5), Some(4));
         // The tail sample dominates the max quantile.
         assert_eq!(h.quantile_upper_bound(1.0), Some(128));
+    }
+
+    #[test]
+    fn histogram_merge_matches_interleaved_recording() {
+        let mut merged = LatencyHistogram::default();
+        let mut reference = LatencyHistogram::default();
+        let mut part = LatencyHistogram::default();
+        for lat in [1u64, 3, 9, 200] {
+            reference.record(lat);
+            merged.record(lat);
+        }
+        for lat in [2u64, 1000, 4] {
+            reference.record(lat);
+            part.record(lat);
+        }
+        merged.merge(&part);
+        assert_eq!(merged, reference);
+    }
+
+    #[test]
+    fn stats_merge_folds_all_fields() {
+        let mut a = NetworkStats {
+            packets_delivered: 2,
+            total_packet_latency: 30,
+            max_packet_latency: 20,
+            flit_hops: 7,
+            ..NetworkStats::default()
+        };
+        a.latency_histogram.record(10);
+        a.latency_histogram.record(20);
+        let mut b = NetworkStats {
+            packets_delivered: 1,
+            total_packet_latency: 50,
+            max_packet_latency: 50,
+            flits_ejected: 4,
+            ..NetworkStats::default()
+        };
+        b.latency_histogram.record(50);
+        a.merge(&b);
+        assert_eq!(a.packets_delivered, 3);
+        assert_eq!(a.total_packet_latency, 80);
+        assert_eq!(a.max_packet_latency, 50);
+        assert_eq!(a.flits_ejected, 4);
+        assert_eq!(a.flit_hops, 7);
+        assert_eq!(a.latency_histogram.count(), 3);
     }
 
     #[test]

@@ -58,6 +58,11 @@ fn scenario(id: ChipConfigId) -> (Mesh, TrafficGenerator) {
 fn run_fingerprint(id: ChipConfigId) -> u64 {
     let (mesh, mut gen) = scenario(id);
     let mut net = Network::new(mesh, NocConfig::default());
+    // The configs' meshes are small, so without this the striped sweep
+    // would never engage: force striping at any worklist size so the CI
+    // matrix over HOTNOC_THREADS in {1, 2, 4} genuinely pins the parallel
+    // path to the same fingerprints as the serial one.
+    net.set_par_threshold(1);
     let mut fp = Fingerprint::new();
 
     // Phase 1: open-loop injection, fingerprinting per-cycle stats.

@@ -17,7 +17,7 @@
 
 pub mod report;
 
-use report::BenchRecord;
+use report::{BenchEnv, BenchRecord};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -46,12 +46,21 @@ pub struct Criterion {
     _private: (),
 }
 
+/// Scenario metadata stamped onto subsequent records (`hotnoc-bench-v2`
+/// `mesh`/`threads` fields). Not part of the real criterion API; baseline
+/// comparison needs it for apples-to-apples matching.
+#[derive(Debug, Clone, Default)]
+struct RecordMeta {
+    mesh: Option<String>,
+    threads: Option<u64>,
+}
+
 impl Criterion {
     pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(id, f);
+        run_bench(id, &RecordMeta::default(), f);
         self
     }
 
@@ -59,6 +68,7 @@ impl Criterion {
         BenchmarkGroup {
             _parent: self,
             name: name.into(),
+            meta: RecordMeta::default(),
         }
     }
 }
@@ -67,6 +77,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     _parent: &'a mut Criterion,
     name: String,
+    meta: RecordMeta,
 }
 
 impl BenchmarkGroup<'_> {
@@ -75,12 +86,29 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Tags every subsequent record of this group with the scenario's mesh
+    /// and sweep thread count (the v2 schema's per-record metadata).
+    /// Harness extension, not part of the real criterion API.
+    pub fn meta(&mut self, mesh: &str, threads: u64) -> &mut Self {
+        self.meta = RecordMeta {
+            mesh: Some(mesh.to_string()),
+            threads: Some(threads),
+        };
+        self
+    }
+
+    /// Clears metadata set by [`BenchmarkGroup::meta`].
+    pub fn clear_meta(&mut self) -> &mut Self {
+        self.meta = RecordMeta::default();
+        self
+    }
+
     pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id.into());
-        run_bench(&full, f);
+        run_bench(&full, &self.meta, f);
         self
     }
 
@@ -117,7 +145,7 @@ fn time_batch<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
     b.elapsed
 }
 
-fn run_bench<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, meta: &RecordMeta, mut f: F) {
     let budget = measure_budget();
     let warmup = (budget / 6).max(Duration::from_millis(5));
 
@@ -148,7 +176,9 @@ fn run_bench<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
         iters += batch;
     }
 
-    let record = summarize(id, batch, iters, samples_ns);
+    let mut record = summarize(id, batch, iters, samples_ns);
+    record.mesh.clone_from(&meta.mesh);
+    record.threads = meta.threads;
     println!(
         "bench {id:<48} {:>12} median {:>12} p95 {:>10} sd ({} samples, {} trimmed, {iters} iters)",
         fmt_ns(record.median_ns),
@@ -184,6 +214,8 @@ fn summarize(id: &str, batch: u64, iters: u64, mut samples_ns: Vec<f64>) -> Benc
     let var = kept.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
     BenchRecord {
         id: id.to_string(),
+        mesh: None,
+        threads: None,
         batch_iters: batch,
         iters,
         samples: kept.len() as u64,
@@ -220,9 +252,10 @@ pub fn write_reports() {
             None => groups.push((prefix, vec![r])),
         }
     }
+    let env = BenchEnv::capture();
     for (prefix, records) in &groups {
         let path = format!("{dir}/BENCH_{prefix}.json");
-        let json = report::to_json(records);
+        let json = report::to_json(&env, records);
         match std::fs::write(&path, json) {
             Ok(()) => println!("[bench report saved to {path}]"),
             Err(e) => eprintln!("[failed to save {path}: {e}]"),

@@ -1,14 +1,18 @@
 //! Machine-readable bench reports: the `BENCH_*.json` schema, its writer,
-//! and a strict parser used by CI to validate emitted files.
+//! and a strict parser used by CI to validate emitted files and gate
+//! performance regressions.
 //!
-//! Schema (`hotnoc-bench-v1`):
+//! Current schema (`hotnoc-bench-v2`) — v1 minus the `env` block and the
+//! per-record `mesh`/`threads` fields is still accepted by the parser:
 //!
 //! ```json
 //! {
-//!   "schema": "hotnoc-bench-v1",
+//!   "schema": "hotnoc-bench-v2",
+//!   "env": {"threads": 4, "available_parallelism": 8, "os": "linux"},
 //!   "results": [
 //!     {
-//!       "id": "noc/steps_per_sec/16x16_idle",
+//!       "id": "noc/steps_per_sec/32x32_loaded_t4",
+//!       "mesh": "32x32", "threads": 4,
 //!       "batch_iters": 128, "iters": 8192, "samples": 61, "trimmed": 3,
 //!       "mean_ns": 1234.5, "median_ns": 1200.0, "p95_ns": 1400.0,
 //!       "stddev_ns": 55.0, "min_ns": 1100.0, "max_ns": 1500.0
@@ -16,15 +20,77 @@
 //!   ]
 //! }
 //! ```
+//!
+//! The `env` block and the per-record metadata exist so baseline
+//! comparisons can refuse (or at least flag) apples-to-oranges runs: a
+//! 4-thread sweep measured on a 1-core container is not comparable to the
+//! same id measured on an 8-core workstation.
 
 /// Current schema identifier.
-pub const SCHEMA: &str = "hotnoc-bench-v1";
+pub const SCHEMA: &str = "hotnoc-bench-v2";
+
+/// Previous schema identifier, still parsed (committed v1 baselines remain
+/// readable).
+pub const SCHEMA_V1: &str = "hotnoc-bench-v1";
+
+/// Measurement-environment metadata attached to every v2 report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchEnv {
+    /// `HOTNOC_THREADS` as resolved by the harness process (the default
+    /// thread count consumers constructed in-process would pick up).
+    pub threads: u64,
+    /// The machine's available hardware parallelism.
+    pub available_parallelism: u64,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+}
+
+impl BenchEnv {
+    /// Captures the current process environment. The `threads` resolution
+    /// mirrors `minipool::configured_threads` exactly (set-but-invalid
+    /// `HOTNOC_THREADS` resolves to 1, unset to available parallelism) so
+    /// the recorded value is the one simulations in this process used.
+    pub fn capture() -> Self {
+        let available = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1) as u64;
+        let threads = match std::env::var("HOTNOC_THREADS") {
+            Ok(v) => match v.trim().parse::<u64>() {
+                Ok(n) if n >= 1 => n,
+                _ => 1,
+            },
+            Err(_) => available,
+        };
+        BenchEnv {
+            threads,
+            available_parallelism: available,
+            os: std::env::consts::OS.to_string(),
+        }
+    }
+}
+
+/// A parsed report: schema version, environment (v2 only) and records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// The schema tag the document carried.
+    pub schema: String,
+    /// Environment metadata; `None` for v1 documents.
+    pub env: Option<BenchEnv>,
+    /// The benchmark records.
+    pub records: Vec<BenchRecord>,
+}
 
 /// Summary statistics of one benchmark id.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRecord {
     /// Benchmark id (`group/name`).
     pub id: String,
+    /// Mesh the scenario ran on (e.g. `"32x32"`), when the bench declared
+    /// it (v2).
+    pub mesh: Option<String>,
+    /// Sweep thread count the scenario pinned, when the bench declared it
+    /// (v2).
+    pub threads: Option<u64>,
     /// Iterations per timing batch.
     pub batch_iters: u64,
     /// Total iterations executed during measurement.
@@ -60,18 +126,32 @@ fn esc(s: &str) -> String {
     out
 }
 
-/// Serializes records to the `hotnoc-bench-v1` JSON document.
-pub fn to_json(records: &[&BenchRecord]) -> String {
+/// Serializes records to the current (`hotnoc-bench-v2`) JSON document.
+pub fn to_json(env: &BenchEnv, records: &[&BenchRecord]) -> String {
     let mut s = String::new();
     s.push_str("{\n  \"schema\": \"");
     s.push_str(SCHEMA);
-    s.push_str("\",\n  \"results\": [");
+    s.push_str("\",\n  \"env\": {");
+    s.push_str(&format!(
+        "\"threads\": {}, \"available_parallelism\": {}, \"os\": \"{}\"",
+        env.threads,
+        env.available_parallelism,
+        esc(&env.os),
+    ));
+    s.push_str("},\n  \"results\": [");
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
             s.push(',');
         }
+        let mut meta = String::new();
+        if let Some(mesh) = &r.mesh {
+            meta.push_str(&format!(" \"mesh\": \"{}\",", esc(mesh)));
+        }
+        if let Some(threads) = r.threads {
+            meta.push_str(&format!(" \"threads\": {threads},"));
+        }
         s.push_str(&format!(
-            "\n    {{\"id\": \"{}\", \"batch_iters\": {}, \"iters\": {}, \
+            "\n    {{\"id\": \"{}\",{meta} \"batch_iters\": {}, \"iters\": {}, \
              \"samples\": {}, \"trimmed\": {}, \"mean_ns\": {:.3}, \
              \"median_ns\": {:.3}, \"p95_ns\": {:.3}, \"stddev_ns\": {:.3}, \
              \"min_ns\": {:.3}, \"max_ns\": {:.3}}}",
@@ -92,13 +172,25 @@ pub fn to_json(records: &[&BenchRecord]) -> String {
     s
 }
 
-/// Parses and validates a `hotnoc-bench-v1` document, returning its records.
+/// Parses and validates a bench report, returning its records. Accepts the
+/// current `hotnoc-bench-v2` schema and the legacy `hotnoc-bench-v1`.
 ///
 /// # Errors
 ///
 /// Returns a human-readable description of the first syntax or schema
 /// violation (wrong schema tag, missing field, non-finite statistic, ...).
 pub fn parse_report(text: &str) -> Result<Vec<BenchRecord>, String> {
+    parse_document(text).map(|doc| doc.records)
+}
+
+/// Parses and validates a bench report document (v1 or v2), returning the
+/// schema tag, the environment block (v2) and the records.
+///
+/// # Errors
+///
+/// Same as [`parse_report`]; additionally, a v2 document without an `env`
+/// object (or with a malformed one) is rejected.
+pub fn parse_document(text: &str) -> Result<BenchReport, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
@@ -112,10 +204,33 @@ pub fn parse_report(text: &str) -> Result<Vec<BenchRecord>, String> {
     let Json::Object(fields) = doc else {
         return Err("top level is not an object".into());
     };
-    let schema = get_str(&fields, "schema")?;
-    if schema != SCHEMA {
-        return Err(format!("unknown schema {schema:?} (want {SCHEMA:?})"));
+    let schema = get_str(&fields, "schema")?.to_string();
+    if schema != SCHEMA && schema != SCHEMA_V1 {
+        return Err(format!(
+            "unknown schema {schema:?} (want {SCHEMA:?} or {SCHEMA_V1:?})"
+        ));
     }
+    let env = if schema == SCHEMA {
+        let Some(Json::Object(e)) = lookup(&fields, "env") else {
+            return Err(format!("schema {SCHEMA:?} requires an \"env\" object"));
+        };
+        let int = |k: &str| -> Result<u64, String> {
+            let v = get_num(e, k).map_err(|err| format!("env: {err}"))?;
+            if !v.is_finite() || v < 0.0 || v.fract() != 0.0 {
+                return Err(format!("env.{k} is not a non-negative integer"));
+            }
+            Ok(v as u64)
+        };
+        Some(BenchEnv {
+            threads: int("threads")?,
+            available_parallelism: int("available_parallelism")?,
+            os: get_str(e, "os")
+                .map_err(|err| format!("env: {err}"))?
+                .to_string(),
+        })
+    } else {
+        None
+    };
     let Some(Json::Array(items)) = lookup(&fields, "results") else {
         return Err("missing \"results\" array".into());
     };
@@ -141,6 +256,15 @@ pub fn parse_report(text: &str) -> Result<Vec<BenchRecord>, String> {
         };
         let rec = BenchRecord {
             id: get_str(f, "id").map_err(ctx)?.to_string(),
+            mesh: match lookup(f, "mesh") {
+                None => None,
+                Some(Json::Str(s)) => Some(s.clone()),
+                Some(_) => return Err(format!("results[{i}].mesh is not a string")),
+            },
+            threads: match lookup(f, "threads") {
+                None => None,
+                Some(_) => Some(int("threads")?),
+            },
             batch_iters: int("batch_iters")?,
             iters: int("iters")?,
             samples: int("samples")?,
@@ -163,7 +287,11 @@ pub fn parse_report(text: &str) -> Result<Vec<BenchRecord>, String> {
         }
         out.push(rec);
     }
-    Ok(out)
+    Ok(BenchReport {
+        schema,
+        env,
+        records: out,
+    })
 }
 
 /// A parsed JSON value (only what the report schema needs; booleans and
@@ -369,6 +497,8 @@ mod tests {
     fn rec(id: &str) -> BenchRecord {
         BenchRecord {
             id: id.to_string(),
+            mesh: None,
+            threads: None,
             batch_iters: 8,
             iters: 800,
             samples: 100,
@@ -382,28 +512,72 @@ mod tests {
         }
     }
 
+    fn env() -> BenchEnv {
+        BenchEnv {
+            threads: 4,
+            available_parallelism: 8,
+            os: "linux".to_string(),
+        }
+    }
+
     #[test]
     fn json_roundtrip() {
-        let a = rec("noc/steps_per_sec/16x16_idle");
+        let mut a = rec("noc/steps_per_sec/32x32_loaded_t4");
+        a.mesh = Some("32x32".to_string());
+        a.threads = Some(4);
         let b = rec("noc/transpose \"quoted\"");
-        let json = to_json(&[&a, &b]);
-        let parsed = parse_report(&json).expect("valid report");
-        assert_eq!(parsed.len(), 2);
-        assert_eq!(parsed[0].id, a.id);
-        assert_eq!(parsed[1].id, b.id);
-        assert_eq!(parsed[0].iters, 800);
-        assert!((parsed[0].mean_ns - 123.456).abs() < 1e-9);
+        let json = to_json(&env(), &[&a, &b]);
+        let doc = parse_document(&json).expect("valid report");
+        assert_eq!(doc.schema, SCHEMA);
+        assert_eq!(doc.env, Some(env()));
+        assert_eq!(doc.records.len(), 2);
+        assert_eq!(doc.records[0].id, a.id);
+        assert_eq!(doc.records[0].mesh.as_deref(), Some("32x32"));
+        assert_eq!(doc.records[0].threads, Some(4));
+        assert_eq!(doc.records[1].id, b.id);
+        assert_eq!(doc.records[1].mesh, None);
+        assert_eq!(doc.records[1].threads, None);
+        assert_eq!(doc.records[0].iters, 800);
+        assert!((doc.records[0].mean_ns - 123.456).abs() < 1e-9);
+    }
+
+    #[test]
+    fn legacy_v1_documents_still_parse() {
+        // A v1 document: no env block, no per-record metadata.
+        let json = format!(
+            "{{\"schema\": \"{SCHEMA_V1}\", \"results\": [\
+             {{\"id\": \"a/b\", \"batch_iters\": 1, \"iters\": 10, \
+             \"samples\": 5, \"trimmed\": 0, \"mean_ns\": 2.0, \
+             \"median_ns\": 2.0, \"p95_ns\": 3.0, \"stddev_ns\": 0.5, \
+             \"min_ns\": 1.0, \"max_ns\": 4.0}}]}}"
+        );
+        let doc = parse_document(&json).expect("v1 parses");
+        assert_eq!(doc.schema, SCHEMA_V1);
+        assert_eq!(doc.env, None);
+        assert_eq!(doc.records.len(), 1);
+        assert_eq!(doc.records[0].mesh, None);
+        assert_eq!(parse_report(&json).expect("compat").len(), 1);
+    }
+
+    #[test]
+    fn v2_without_env_is_rejected() {
+        let json = to_json(&env(), &[&rec("a/b")]).replace(
+            "\"env\": {\"threads\": 4, \"available_parallelism\": 8, \"os\": \"linux\"},",
+            "",
+        );
+        let err = parse_document(&json).unwrap_err();
+        assert!(err.contains("requires an \"env\""), "got: {err}");
     }
 
     #[test]
     fn rejects_wrong_schema() {
-        let json = to_json(&[&rec("a/b")]).replace(SCHEMA, "bogus-v0");
+        let json = to_json(&env(), &[&rec("a/b")]).replace(SCHEMA, "bogus-v0");
         assert!(parse_report(&json).unwrap_err().contains("unknown schema"));
     }
 
     #[test]
     fn rejects_missing_field() {
-        let json = to_json(&[&rec("a/b")]).replace("\"p95_ns\"", "\"q95_ns\"");
+        let json = to_json(&env(), &[&rec("a/b")]).replace("\"p95_ns\"", "\"q95_ns\"");
         assert!(parse_report(&json).unwrap_err().contains("p95_ns"));
     }
 
@@ -418,13 +592,21 @@ mod tests {
     fn rejects_unordered_stats() {
         let mut bad = rec("a/b");
         bad.min_ns = 1.0e9; // above median
-        let json = to_json(&[&bad]);
+        let json = to_json(&env(), &[&bad]);
         assert!(parse_report(&json).unwrap_err().contains("out of order"));
     }
 
     #[test]
     fn empty_results_are_valid() {
-        let json = to_json(&[]);
+        let json = to_json(&env(), &[]);
         assert_eq!(parse_report(&json).expect("valid").len(), 0);
+    }
+
+    #[test]
+    fn env_capture_is_sane() {
+        let e = BenchEnv::capture();
+        assert!(e.threads >= 1);
+        assert!(e.available_parallelism >= 1);
+        assert!(!e.os.is_empty());
     }
 }

@@ -1,0 +1,512 @@
+//! Offline stand-in for the `rayon` thread pool.
+//!
+//! The container builds hermetically (no registry access), so this crate
+//! implements the small slice of rayon's surface the workspace needs:
+//!
+//! * [`ThreadPool::scope`] — spawn non-`'static` closures that borrow the
+//!   caller's stack, with a guarantee that every spawned task finishes
+//!   before `scope` returns (rayon's `Scope::spawn` contract).
+//! * [`ThreadPool::par_chunks_mut`] — striped mutable iteration over a
+//!   slice, the `par_chunks_mut().enumerate().for_each()` idiom.
+//! * [`global`] — a process-wide pool whose worker count is capped by
+//!   `HOTNOC_THREADS` (default: [`std::thread::available_parallelism`]).
+//!
+//! # API delta vs rayon
+//!
+//! Workers are spawned lazily ([`ThreadPool::ensure_workers`]) instead of
+//! eagerly at pool construction; there is no work stealing (a single shared
+//! injector queue — fine for the few, coarse tasks per scope this workspace
+//! submits); and the thread waiting in `scope` helps drain the queue so a
+//! pool of `n - 1` workers plus the caller yields `n`-way parallelism.
+//! When the real rayon returns, `scope`/`spawn` map 1:1 and
+//! `par_chunks_mut(data, n, f)` becomes
+//! `data.par_chunks_mut(len.div_ceil(n)).enumerate().for_each(f)`.
+//!
+//! # Determinism
+//!
+//! The pool itself makes no ordering promises — tasks run on whichever
+//! worker gets them first. Callers that need deterministic results (the NoC
+//! sweep) achieve it structurally: tasks own disjoint state and their
+//! cross-task effects are committed by the caller in task-index order after
+//! the scope ends.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Hard cap on workers per pool (guards against a runaway `HOTNOC_THREADS`).
+pub const MAX_WORKERS: usize = 256;
+
+/// The thread count a freshly constructed consumer should use: the
+/// `HOTNOC_THREADS` environment variable if set to a positive integer,
+/// otherwise the machine's available parallelism (1 if unknown).
+///
+/// Read on every call (not cached) so tests can vary the variable
+/// per-process; long-lived consumers should sample it once at construction.
+pub fn configured_threads() -> usize {
+    match std::env::var("HOTNOC_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n.min(MAX_WORKERS),
+            _ => 1,
+        },
+        Err(_) => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(MAX_WORKERS),
+    }
+}
+
+/// The process-wide pool. Workers are spawned on demand and live for the
+/// rest of the process.
+pub fn global() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(ThreadPool::new)
+}
+
+/// A lifetime-erased queued task. Scope tasks borrow the spawning stack;
+/// erasure is sound because [`ThreadPool::scope`] blocks until its latch
+/// reports every spawned task finished (even when unwinding).
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<VecDeque<Task>>,
+    /// Signalled when a task is pushed (workers sleep here).
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A panic payload carried from a worker back to the scope caller.
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// Per-scope latch state: outstanding task count plus the first panic
+/// payload observed (re-thrown on the caller's thread, so the original
+/// assertion message survives).
+struct LatchState {
+    pending: usize,
+    panic: Option<PanicPayload>,
+}
+
+/// Completion latch for one scope: counts outstanding tasks and records
+/// whether any of them panicked.
+struct ScopeLatch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+impl ScopeLatch {
+    fn new() -> Self {
+        ScopeLatch {
+            state: Mutex::new(LatchState {
+                pending: 0,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn add_task(&self) {
+        self.state.lock().expect("latch poisoned").pending += 1;
+    }
+
+    fn complete(&self, panic: Option<PanicPayload>) {
+        let mut s = self.state.lock().expect("latch poisoned");
+        s.pending -= 1;
+        if s.panic.is_none() {
+            s.panic = panic;
+        }
+        if s.pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.state.lock().expect("latch poisoned").pending == 0
+    }
+
+    fn take_panic(&self) -> Option<PanicPayload> {
+        self.state.lock().expect("latch poisoned").panic.take()
+    }
+}
+
+/// A work pool of OS threads accepting scoped tasks.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Fast-path mirror of `workers.len()` so hot loops can skip the lock.
+    worker_count: AtomicUsize,
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool::new()
+    }
+}
+
+impl ThreadPool {
+    /// Creates an empty pool; workers appear via [`ThreadPool::ensure_workers`].
+    pub fn new() -> Self {
+        ThreadPool {
+            shared: Arc::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+            }),
+            workers: Mutex::new(Vec::new()),
+            worker_count: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of worker threads currently running (excludes helping callers).
+    pub fn workers(&self) -> usize {
+        self.worker_count.load(Ordering::Relaxed)
+    }
+
+    /// Spawns workers until at least `n` (capped at [`MAX_WORKERS`]) exist.
+    /// A scope caller helps drain the queue, so `n - 1` workers suffice for
+    /// `n`-way parallelism.
+    pub fn ensure_workers(&self, n: usize) {
+        let n = n.min(MAX_WORKERS);
+        if self.worker_count.load(Ordering::Relaxed) >= n {
+            return;
+        }
+        let mut workers = self.workers.lock().expect("worker registry poisoned");
+        while workers.len() < n {
+            let shared = Arc::clone(&self.shared);
+            let name = format!("minipool-{}", workers.len());
+            let handle = std::thread::Builder::new()
+                .name(name)
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn minipool worker");
+            workers.push(handle);
+        }
+        self.worker_count.store(workers.len(), Ordering::Relaxed);
+    }
+
+    fn push_task(&self, task: Task) {
+        let mut q = self.shared.queue.lock().expect("task queue poisoned");
+        q.push_back(task);
+        drop(q);
+        self.shared.available.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Task> {
+        self.shared
+            .queue
+            .lock()
+            .expect("task queue poisoned")
+            .pop_front()
+    }
+
+    /// Runs `op` with a [`Scope`] on which non-`'static` tasks can be
+    /// spawned, and returns once every spawned task has finished. Mirrors
+    /// `rayon::scope` (without nested-scope work stealing).
+    ///
+    /// # Panics
+    ///
+    /// If any spawned task panicked, the first panic payload is re-thrown
+    /// on the caller's thread (after all tasks have finished), preserving
+    /// the original message.
+    pub fn scope<'scope, OP, R>(&'scope self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R + 'scope,
+    {
+        let latch = Arc::new(ScopeLatch::new());
+        let scope = Scope {
+            pool: self,
+            latch: Arc::clone(&latch),
+            _marker: PhantomData,
+        };
+        let out = {
+            // The guard waits for outstanding tasks even if `op` unwinds, so
+            // no task can outlive the borrows it captured.
+            let _guard = WaitGuard {
+                pool: self,
+                latch: &latch,
+            };
+            op(&scope)
+        };
+        if let Some(payload) = latch.take_panic() {
+            std::panic::resume_unwind(payload);
+        }
+        out
+    }
+
+    /// Splits `data` into `num_chunks` near-equal contiguous stripes and
+    /// runs `f(stripe_index, stripe)` for each, in parallel. Stripe order in
+    /// memory equals stripe index order, so callers can reassemble
+    /// deterministic results by index.
+    pub fn par_chunks_mut<T, F>(&self, data: &mut [T], num_chunks: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let n = num_chunks.clamp(1, data.len().max(1));
+        if n == 1 {
+            f(0, data);
+            return;
+        }
+        self.ensure_workers(n - 1);
+        let chunk = data.len().div_ceil(n);
+        self.scope(|s| {
+            for (i, stripe) in data.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                s.spawn(move || f(i, stripe));
+            }
+        });
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        let mut workers = self.workers.lock().expect("worker registry poisoned");
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Handle for spawning tasks that borrow the stack enclosing
+/// [`ThreadPool::scope`].
+pub struct Scope<'scope> {
+    pool: &'scope ThreadPool,
+    latch: Arc<ScopeLatch>,
+    /// Invariant over `'scope` (mirrors `std::thread::Scope`).
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queues `f` to run on the pool. The closure may borrow anything that
+    /// outlives the enclosing `scope` call.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.latch.add_task();
+        let latch = Arc::clone(&self.latch);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(f));
+            latch.complete(result.err());
+        });
+        // SAFETY: the enclosing `scope` call blocks (in `WaitGuard::drop`)
+        // until the latch counts this task complete, so the closure and its
+        // `'scope` borrows never outlive the stack frame they borrow from.
+        let task: Task = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(task)
+        };
+        self.pool.push_task(task);
+    }
+}
+
+/// Blocks until the scope's latch drains, helping run queued tasks so the
+/// caller's thread contributes parallelism instead of idling.
+struct WaitGuard<'a> {
+    pool: &'a ThreadPool,
+    latch: &'a ScopeLatch,
+}
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        loop {
+            // Help first: run whatever is queued (possibly another scope's
+            // task — its own latch is captured in the task, so accounting
+            // stays correct).
+            if let Some(task) = self.pool.try_pop() {
+                task();
+                continue;
+            }
+            let state = self.latch.state.lock().expect("latch poisoned");
+            if state.pending == 0 {
+                break;
+            }
+            // Short timeout: our remaining tasks are running on workers, but
+            // re-check the queue periodically in case a running task spawned
+            // more work while every worker was busy.
+            let _unused = self
+                .latch
+                .done
+                .wait_timeout(state, Duration::from_micros(200))
+                .expect("latch poisoned");
+        }
+        debug_assert!(self.latch.finished());
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut q = shared.queue.lock().expect("task queue poisoned");
+            loop {
+                if let Some(task) = q.pop_front() {
+                    break task;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = shared.available.wait(q).expect("task queue poisoned");
+            }
+        };
+        task();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_runs_all_tasks_and_waits() {
+        let pool = ThreadPool::new();
+        pool.ensure_workers(3);
+        let hits = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..32 {
+                s.spawn(|| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn scope_tasks_borrow_caller_stack_mutably() {
+        let pool = ThreadPool::new();
+        pool.ensure_workers(2);
+        let mut data = vec![0u64; 100];
+        let (a, b) = data.split_at_mut(50);
+        pool.scope(|s| {
+            s.spawn(|| a.iter_mut().for_each(|x| *x += 1));
+            s.spawn(|| b.iter_mut().for_each(|x| *x += 2));
+        });
+        assert!(data[..50].iter().all(|&x| x == 1));
+        assert!(data[50..].iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn scope_with_no_workers_runs_on_caller() {
+        let pool = ThreadPool::new();
+        assert_eq!(pool.workers(), 0);
+        let mut ran = false;
+        pool.scope(|s| s.spawn(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_every_element_once() {
+        let pool = ThreadPool::new();
+        let mut data: Vec<u64> = (0..1000).collect();
+        pool.par_chunks_mut(&mut data, 7, |_, stripe| {
+            for x in stripe {
+                *x += 1;
+            }
+        });
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_stripe_indices_are_contiguous() {
+        let pool = ThreadPool::new();
+        let mut data = vec![0usize; 103];
+        pool.par_chunks_mut(&mut data, 4, |idx, stripe| {
+            for x in stripe {
+                *x = idx;
+            }
+        });
+        // Stripe index must be non-decreasing across memory order.
+        for w in data.windows(2) {
+            assert!(w[0] <= w[1], "stripes out of order: {} then {}", w[0], w[1]);
+        }
+        assert_eq!(*data.last().expect("non-empty"), 3);
+    }
+
+    #[test]
+    fn par_chunks_mut_handles_degenerate_shapes() {
+        let pool = ThreadPool::new();
+        let mut empty: Vec<u8> = Vec::new();
+        pool.par_chunks_mut(&mut empty, 4, |_, _| {});
+        let mut one = vec![7u8];
+        pool.par_chunks_mut(&mut one, 16, |_, s| s.iter_mut().for_each(|x| *x += 1));
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn task_panic_propagates_to_scope_caller() {
+        let pool = ThreadPool::new();
+        pool.ensure_workers(1);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("boom"));
+                s.spawn(|| {}); // a healthy sibling must still complete
+            });
+        }))
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        // The original payload is re-thrown on the caller's thread.
+        assert!(msg.contains("boom"), "got: {msg}");
+        // The pool survives a panicked task.
+        let mut ok = false;
+        pool.scope(|s| s.spawn(|| ok = true));
+        assert!(ok);
+    }
+
+    #[test]
+    fn ensure_workers_is_monotonic_and_capped() {
+        let pool = ThreadPool::new();
+        pool.ensure_workers(2);
+        assert_eq!(pool.workers(), 2);
+        pool.ensure_workers(1); // never shrinks
+        assert_eq!(pool.workers(), 2);
+        pool.ensure_workers(4);
+        assert_eq!(pool.workers(), 4);
+    }
+
+    #[test]
+    fn configured_threads_is_positive() {
+        assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn global_pool_is_usable() {
+        let n = AtomicU64::new(0);
+        global().scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    n.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(n.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn sequential_scopes_reuse_the_pool() {
+        let pool = ThreadPool::new();
+        pool.ensure_workers(2);
+        let mut total = 0u64;
+        for round in 0..50u64 {
+            let partial = Mutex::new(0u64);
+            pool.scope(|s| {
+                for _ in 0..4 {
+                    let partial = &partial;
+                    s.spawn(move || {
+                        *partial.lock().expect("poisoned") += round;
+                    });
+                }
+            });
+            total += *partial.lock().expect("poisoned");
+        }
+        assert_eq!(total, (0..50u64).map(|r| 4 * r).sum());
+    }
+}
