@@ -1,19 +1,31 @@
 //! Regenerates **Figure 1** of the paper: reduction in peak temperature per
 //! configuration (A–E) under each migration scheme, plus the §3 averages.
 //!
+//! Since the campaign engine landed this binary is a thin wrapper over the
+//! built-in `fig1` campaign: the sweep runs in parallel (respecting
+//! `HOTNOC_THREADS`), journals to `CAMPAIGN_fig1.manifest.jsonl` in the
+//! working directory — so a killed run resumes where it stopped — and
+//! leaves the machine-readable `CAMPAIGN_fig1.json` next to `fig1.csv`.
+//!
 //! Usage:
 //!   report_fig1            # full transient co-simulation (the figure)
 //!   report_fig1 --predict  # fast orbit-average predictor only
 //!   report_fig1 --quick    # reduced-fidelity smoke run
+//!
+//! Exits non-zero if the sweep fails or an artifact cannot be written.
 
 use hotnoc_core::configs::{ChipConfigId, ChipSpec, Fidelity};
-use hotnoc_core::cosim::{predicted_reduction, CosimParams};
-use hotnoc_core::experiment::{run_fig1, Fig1Row, Fig1Table};
+use hotnoc_core::cosim::predicted_reduction;
+use hotnoc_core::experiment::{Fig1Row, Fig1Table};
 use hotnoc_core::report;
 use hotnoc_core::Chip;
 use hotnoc_reconfig::MigrationScheme;
+use hotnoc_scenario::builtin::builtin;
+use hotnoc_scenario::exhibits;
+use hotnoc_scenario::runner::{run_campaign, RunnerOptions};
+use std::error::Error;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let args: Vec<String> = std::env::args().collect();
     let predict_only = args.iter().any(|a| a == "--predict");
     let quick = args.iter().any(|a| a == "--quick");
@@ -24,41 +36,46 @@ fn main() {
     };
 
     if predict_only {
-        run_predictor(fidelity);
-        return;
+        run_predictor(fidelity)?;
+        return Ok(());
     }
 
-    let params = if quick {
-        CosimParams::quick()
-    } else {
-        CosimParams::default()
-    };
-    let table = run_fig1(fidelity, &params).expect("fig1 experiment failed");
+    let spec = builtin("fig1", fidelity).expect("fig1 is a builtin");
+    let run = run_campaign(
+        &spec,
+        &RunnerOptions {
+            progress: true,
+            ..RunnerOptions::default()
+        },
+    )?;
+    let table = exhibits::fig1_table(&run.completed).map_err(std::io::Error::other)?;
     println!("{}", report::fig1_ascii(&table));
     print_notes(&table);
-    hotnoc_bench::save("fig1.csv", &report::fig1_csv(&table));
+    hotnoc_bench::save("fig1.csv", &report::fig1_csv(&table))?;
+    Ok(())
 }
 
-fn run_predictor(fidelity: Fidelity) {
+fn run_predictor(fidelity: Fidelity) -> Result<(), Box<dyn Error>> {
     println!("Orbit-average predictor (upper bound, no migration energy):");
     println!(
         "{:<14}{:>10}{:>12}{:>12}{:>12}{:>12}{:>12}",
         "Config", "block us", "Rot", "X Mirror", "X-Y Mirror", "Right Shift", "X-Y Shift"
     );
     for id in ChipConfigId::ALL {
-        let mut chip = Chip::build(ChipSpec::of(id, fidelity)).expect("chip build");
-        let cal = chip.calibrate().expect("calibration");
+        let mut chip = Chip::build(ChipSpec::of(id, fidelity))?;
+        let cal = chip.calibrate()?;
         print!(
             "{:<14}{:>10.1}",
             format!("{} ({:.2})", id, chip.spec().base_peak_celsius),
             cal.block_seconds * 1e6
         );
         for scheme in MigrationScheme::FIGURE1 {
-            let r = predicted_reduction(&chip, &cal, scheme).expect("prediction");
+            let r = predicted_reduction(&chip, &cal, scheme)?;
             print!("{r:>12.2}");
         }
         println!();
     }
+    Ok(())
 }
 
 fn print_notes(table: &Fig1Table) {

@@ -4,21 +4,36 @@
 //!
 //! Paper reference points: migration is congestion free, deterministic in
 //! time, and the rotational migration has the largest energy penalty.
+//!
+//! A thin wrapper over the built-in `migration-cost` campaign (plan-cost
+//! mode: no transient solve). Leaves `CAMPAIGN_migration-cost.json` and a
+//! CSV per chip. Exits non-zero on failure.
 
 use hotnoc_core::configs::{ChipConfigId, Fidelity};
-use hotnoc_core::cosim::CosimParams;
-use hotnoc_core::experiment::run_migration_cost;
 use hotnoc_core::report;
+use hotnoc_scenario::builtin::builtin;
+use hotnoc_scenario::exhibits;
+use hotnoc_scenario::runner::{run_campaign, RunnerOptions};
+use std::error::Error;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (fidelity, params) = if quick {
-        (Fidelity::Quick, CosimParams::quick())
+    let fidelity = if quick {
+        Fidelity::Quick
     } else {
-        (Fidelity::Full, CosimParams::default())
+        Fidelity::Full
     };
+    let spec = builtin("migration-cost", fidelity).expect("migration-cost is a builtin");
+    let run = run_campaign(
+        &spec,
+        &RunnerOptions {
+            progress: true,
+            ..RunnerOptions::default()
+        },
+    )?;
     for (id, label) in [(ChipConfigId::A, "4x4 chip"), (ChipConfigId::E, "5x5 chip")] {
-        let rows = run_migration_cost(id, fidelity, &params).expect("cost analysis failed");
+        let rows =
+            exhibits::migration_cost_rows(&run.completed, id).map_err(std::io::Error::other)?;
         println!("Migration cost — {label} (config {id}):");
         println!("{}", report::migration_cost_ascii(&rows));
         let rot = &rows[0];
@@ -30,5 +45,10 @@ fn main() {
             "Rotation energy {:.1} uJ vs best-of-others {:.1} uJ (paper: rotation largest)\n",
             rot.energy_uj, max_other
         );
+        hotnoc_bench::save(
+            &format!("migration_cost_{id}.csv"),
+            &report::migration_cost_csv(&rows),
+        )?;
     }
+    Ok(())
 }

@@ -5,28 +5,37 @@
 //! Paper reference points: 1 block -> 1.6 % penalty; 4 blocks -> < 0.4 %
 //! with peak rise under 0.1 °C; 8 blocks -> < 0.2 % without significant
 //! peak impact.
+//!
+//! A thin wrapper over the built-in `period-sweep` campaign: the runs
+//! journal to `CAMPAIGN_period-sweep.manifest.jsonl` (killed runs resume)
+//! and the machine-readable `CAMPAIGN_period-sweep.json` lands next to
+//! `period_sweep.csv`. Exits non-zero on failure.
 
 use hotnoc_core::configs::{ChipConfigId, Fidelity};
-use hotnoc_core::cosim::CosimParams;
-use hotnoc_core::experiment::run_period_sweep;
 use hotnoc_core::report;
 use hotnoc_reconfig::MigrationScheme;
+use hotnoc_scenario::builtin::builtin;
+use hotnoc_scenario::exhibits;
+use hotnoc_scenario::runner::{run_campaign, RunnerOptions};
+use std::error::Error;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (fidelity, params) = if quick {
-        (Fidelity::Quick, CosimParams::quick())
+    let fidelity = if quick {
+        Fidelity::Quick
     } else {
-        (Fidelity::Full, CosimParams::default())
+        Fidelity::Full
     };
-    let table = run_period_sweep(
-        ChipConfigId::A,
-        MigrationScheme::XYShift,
-        &[1, 4, 8],
-        fidelity,
-        &params,
-    )
-    .expect("period sweep failed");
+    let spec = builtin("period-sweep", fidelity).expect("period-sweep is a builtin");
+    let run = run_campaign(
+        &spec,
+        &RunnerOptions {
+            progress: true,
+            ..RunnerOptions::default()
+        },
+    )?;
+    let table = exhibits::period_table(&run.completed, ChipConfigId::A, MigrationScheme::XYShift)
+        .map_err(std::io::Error::other)?;
     println!("{}", report::period_ascii(&table));
     if table.rows.len() == 3 {
         let rise = table.rows[1].peak - table.rows[0].peak;
@@ -36,4 +45,6 @@ fn main() {
             "Peak rise from 1-block to 8-block period: {rise8:.3} C (paper: no significant impact)"
         );
     }
+    hotnoc_bench::save("period_sweep.csv", &report::period_csv(&table))?;
+    Ok(())
 }

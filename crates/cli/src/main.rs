@@ -1,0 +1,288 @@
+//! `hotnoc` — the command-line front end of the scenario & campaign engine.
+//!
+//! ```text
+//! hotnoc campaign run (--builtin NAME | --spec FILE) [options]
+//! hotnoc campaign list
+//! hotnoc campaign expand (--builtin NAME | --spec FILE) [--quick]
+//! hotnoc campaign check FILE...
+//! hotnoc scenario run --spec FILE
+//! ```
+//!
+//! Exit codes: 0 = success (a partial `--max-jobs` run that stopped on
+//! schedule is a success), 1 = runtime failure (job failed, artifact
+//! invalid, write failed), 2 = usage error.
+
+use hotnoc_core::configs::Fidelity;
+use hotnoc_scenario::builtin::{builtin, BUILTINS};
+use hotnoc_scenario::runner::{
+    parse_campaign_document, run_campaign, summary_table, RunnerOptions,
+};
+use hotnoc_scenario::{CampaignSpec, ScenarioSpec};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+hotnoc — scenario & campaign engine for the DATE'05 NoC reproduction
+
+USAGE:
+    hotnoc campaign run (--builtin NAME | --spec FILE)
+                        [--out-dir DIR] [--threads N] [--max-jobs N]
+                        [--fresh] [--quick] [--quiet]
+    hotnoc campaign list
+    hotnoc campaign expand (--builtin NAME | --spec FILE) [--quick]
+    hotnoc campaign check FILE...
+    hotnoc scenario run --spec FILE
+
+OPTIONS:
+    --builtin NAME   a built-in campaign (see `hotnoc campaign list`)
+    --spec FILE      a JSON spec file (campaign or scenario)
+    --out-dir DIR    artifact directory (default .)
+    --threads N      worker threads (default HOTNOC_THREADS / parallelism)
+    --max-jobs N     stop after N new jobs (the campaign stays resumable)
+    --fresh          ignore an existing manifest instead of resuming
+    --quick          run built-ins at quick fidelity (seconds, not minutes);
+                     spec files set their own \"fidelity\" instead
+    --quiet          suppress per-job progress lines
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match strs.as_slice() {
+        ["campaign", "run", rest @ ..] => campaign_run(rest),
+        ["campaign", "list"] => campaign_list(),
+        ["campaign", "expand", rest @ ..] => campaign_expand(rest),
+        ["campaign", "check", rest @ ..] if !rest.is_empty() => campaign_check(rest),
+        ["scenario", "run", rest @ ..] => scenario_run(rest),
+        ["help"] | ["--help"] | ["-h"] => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        _ => usage_error("unrecognized command"),
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("hotnoc: {msg}\n");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Flag parser shared by the subcommands. Returns `(flags with values,
+/// boolean switches)` or a usage message.
+struct Flags {
+    values: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[&str], value_flags: &[&str], switch_flags: &[&str]) -> Result<Flags, String> {
+        let mut values = Vec::new();
+        let mut switches = Vec::new();
+        let mut it = args.iter();
+        while let Some(&flag) = it.next() {
+            if value_flags.contains(&flag) {
+                let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+                values.push((flag.to_string(), (*v).to_string()));
+            } else if switch_flags.contains(&flag) {
+                switches.push(flag.to_string());
+            } else {
+                return Err(format!("unknown flag {flag:?}"));
+            }
+        }
+        Ok(Flags { values, switches })
+    }
+
+    fn get(&self, flag: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(f, _)| f == flag)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.switches.iter().any(|f| f == flag)
+    }
+}
+
+/// Loads the campaign named by `--builtin`/`--spec` (exactly one required).
+fn load_campaign(flags: &Flags) -> Result<CampaignSpec, String> {
+    let fidelity = if flags.has("--quick") {
+        Fidelity::Quick
+    } else {
+        Fidelity::Full
+    };
+    match (flags.get("--builtin"), flags.get("--spec")) {
+        (Some(name), None) => builtin(name, fidelity)
+            .ok_or_else(|| format!("unknown builtin {name:?} (see `hotnoc campaign list`)")),
+        (None, Some(path)) => {
+            if flags.has("--quick") {
+                return Err(
+                    "--quick only applies to --builtin campaigns; spec files set their own \
+                     \"fidelity\""
+                        .to_string(),
+                );
+            }
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            CampaignSpec::parse(&text).map_err(|e| format!("{path}: {e}"))
+        }
+        _ => Err("exactly one of --builtin / --spec is required".to_string()),
+    }
+}
+
+fn campaign_run(args: &[&str]) -> ExitCode {
+    let flags = match Flags::parse(
+        args,
+        &[
+            "--builtin",
+            "--spec",
+            "--out-dir",
+            "--threads",
+            "--max-jobs",
+        ],
+        &["--fresh", "--quick", "--quiet"],
+    ) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&e),
+    };
+    let spec = match load_campaign(&flags) {
+        Ok(s) => s,
+        Err(e) => return usage_error(&e),
+    };
+    let parse_num = |flag: &str| -> Result<Option<usize>, String> {
+        flags
+            .get(flag)
+            .map(|v| v.parse::<usize>().map_err(|e| format!("bad {flag}: {e}")))
+            .transpose()
+    };
+    let (threads, max_jobs) = match (parse_num("--threads"), parse_num("--max-jobs")) {
+        (Ok(t), Ok(m)) => (t, m),
+        (Err(e), _) | (_, Err(e)) => return usage_error(&e),
+    };
+    let opts = RunnerOptions {
+        threads: threads.unwrap_or_else(minipool::configured_threads).max(1),
+        out_dir: PathBuf::from(flags.get("--out-dir").unwrap_or(".")),
+        max_jobs,
+        fresh: flags.has("--fresh"),
+        progress: !flags.has("--quiet"),
+    };
+    eprintln!(
+        "campaign {}: {} jobs on {} thread(s), artifacts in {}",
+        spec.name,
+        spec.expand().len(),
+        opts.threads,
+        opts.out_dir.display()
+    );
+    match run_campaign(&spec, &opts) {
+        Ok(run) => {
+            print!("{}", summary_table(&run));
+            if run.resumed_jobs > 0 {
+                println!("resumed {} job(s) from the manifest", run.resumed_jobs);
+            }
+            if let Some(path) = &run.json_path {
+                println!("[saved {}]", path.display());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("hotnoc: campaign {} failed: {e}", spec.name);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn campaign_list() -> ExitCode {
+    println!("built-in campaigns:");
+    for (name, desc) in BUILTINS {
+        println!("  {name:<18} {desc}");
+    }
+    println!("\nrun one with `hotnoc campaign run --builtin NAME [--quick]`");
+    ExitCode::SUCCESS
+}
+
+fn campaign_expand(args: &[&str]) -> ExitCode {
+    let flags = match Flags::parse(args, &["--builtin", "--spec"], &["--quick"]) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&e),
+    };
+    let spec = match load_campaign(&flags) {
+        Ok(s) => s,
+        Err(e) => return usage_error(&e),
+    };
+    let jobs = spec.expand();
+    println!(
+        "campaign {} (fingerprint {}): {} jobs",
+        spec.name,
+        spec.fingerprint(),
+        jobs.len()
+    );
+    for (i, job) in jobs.iter().enumerate() {
+        println!("{i:>5}  {}", job.name);
+    }
+    ExitCode::SUCCESS
+}
+
+fn campaign_check(paths: &[&str]) -> ExitCode {
+    let mut ok = true;
+    for path in paths {
+        match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ok = false;
+            }
+            Ok(text) => match parse_campaign_document(&text) {
+                Err(e) => {
+                    eprintln!("{path}: INVALID: {e}");
+                    ok = false;
+                }
+                Ok(doc) => {
+                    println!(
+                        "{path}: ok (campaign {}, {} jobs)",
+                        doc.spec.name,
+                        doc.records.len()
+                    );
+                }
+            },
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn scenario_run(args: &[&str]) -> ExitCode {
+    let flags = match Flags::parse(args, &["--spec"], &[]) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&e),
+    };
+    let Some(path) = flags.get("--spec") else {
+        return usage_error("scenario run needs --spec FILE");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("hotnoc: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match ScenarioSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hotnoc: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match hotnoc_scenario::run_scenario(&spec) {
+        Ok(outcome) => {
+            println!("{}", outcome.to_json());
+            eprintln!("{}: {}", spec.name, outcome.summary());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("hotnoc: scenario {} failed: {e}", spec.name);
+            ExitCode::FAILURE
+        }
+    }
+}

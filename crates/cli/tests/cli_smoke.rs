@@ -1,0 +1,201 @@
+//! End-to-end tests of the `hotnoc` binary: campaign run / interrupt /
+//! resume / check, spec-file campaigns, single scenarios, and exit codes.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn hotnoc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hotnoc"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hotnoc-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    dir
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A tiny traffic-only campaign spec file (6 jobs, debug-profile fast).
+fn write_campaign_spec(dir: &std::path::Path) -> PathBuf {
+    let path = dir.join("tiny.json");
+    std::fs::write(
+        &path,
+        r#"{
+  "schema": "hotnoc-campaign-spec-v1",
+  "name": "cli-tiny",
+  "seed": 11,
+  "fidelity": "quick",
+  "configs": [{"config": "A"}],
+  "workloads": [
+    {"kind": "traffic", "pattern": "uniform", "rate": 0.06, "packet_len": 3, "cycles": 200},
+    {"kind": "traffic", "pattern": "tornado", "rate": 0.05, "packet_len": 3, "cycles": 200}
+  ],
+  "policies": ["baseline"],
+  "seeds": [1, 2, 3]
+}"#,
+    )
+    .expect("write spec");
+    path
+}
+
+#[test]
+fn campaign_run_interrupt_resume_and_check() {
+    let dir = tmp_dir("resume");
+    let spec = write_campaign_spec(&dir);
+    let out_dir = dir.join("artifacts");
+
+    // Interrupted run: only 2 of 6 jobs.
+    let partial = hotnoc()
+        .args(["campaign", "run", "--spec"])
+        .arg(&spec)
+        .args(["--out-dir"])
+        .arg(&out_dir)
+        .args(["--threads", "2", "--max-jobs", "2"])
+        .output()
+        .expect("spawn hotnoc");
+    assert!(partial.status.success(), "stderr: {}", stderr(&partial));
+    assert!(stdout(&partial).contains("partial"), "{}", stdout(&partial));
+    assert!(!out_dir.join("CAMPAIGN_cli-tiny.json").exists());
+    assert!(out_dir.join("CAMPAIGN_cli-tiny.manifest.jsonl").exists());
+
+    // Resume to completion.
+    let resumed = hotnoc()
+        .args(["campaign", "run", "--spec"])
+        .arg(&spec)
+        .args(["--out-dir"])
+        .arg(&out_dir)
+        .args(["--threads", "2"])
+        .output()
+        .expect("spawn hotnoc");
+    assert!(resumed.status.success(), "stderr: {}", stderr(&resumed));
+    let text = stdout(&resumed);
+    assert!(text.contains("resumed 2 job(s)"), "{text}");
+    assert!(text.contains("6/6 jobs"), "{text}");
+    let artifact = out_dir.join("CAMPAIGN_cli-tiny.json");
+    assert!(artifact.exists());
+
+    // The emitted artifact validates.
+    let check = hotnoc()
+        .args(["campaign", "check"])
+        .arg(&artifact)
+        .output()
+        .expect("spawn hotnoc");
+    assert!(check.status.success(), "stderr: {}", stderr(&check));
+    assert!(stdout(&check).contains("ok (campaign cli-tiny, 6 jobs)"));
+
+    // A tampered artifact fails the check with exit 1.
+    let tampered = out_dir.join("CAMPAIGN_tampered.json");
+    let body = std::fs::read_to_string(&artifact).unwrap();
+    std::fs::write(&tampered, body.replace("\"seed\": 11", "\"seed\": 12")).unwrap();
+    let bad = hotnoc()
+        .args(["campaign", "check"])
+        .arg(&tampered)
+        .output()
+        .expect("spawn hotnoc");
+    assert_eq!(bad.status.code(), Some(1), "stderr: {}", stderr(&bad));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn campaign_artifacts_are_identical_across_thread_counts() {
+    let dir = tmp_dir("threads");
+    let spec = write_campaign_spec(&dir);
+    let mut bytes = Vec::new();
+    for threads in ["1", "4"] {
+        let out_dir = dir.join(format!("t{threads}"));
+        let run = hotnoc()
+            .args(["campaign", "run", "--spec"])
+            .arg(&spec)
+            .args(["--out-dir"])
+            .arg(&out_dir)
+            .args(["--threads", threads, "--quiet"])
+            .output()
+            .expect("spawn hotnoc");
+        assert!(run.status.success(), "stderr: {}", stderr(&run));
+        bytes.push(std::fs::read(out_dir.join("CAMPAIGN_cli-tiny.json")).unwrap());
+    }
+    assert_eq!(bytes[0], bytes[1], "artifact differs across thread counts");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn campaign_list_and_expand() {
+    let list = hotnoc().args(["campaign", "list"]).output().expect("spawn");
+    assert!(list.status.success());
+    for name in [
+        "fig1",
+        "period-sweep",
+        "migration-cost",
+        "adaptive-compare",
+        "sweep",
+        "smoke",
+    ] {
+        assert!(stdout(&list).contains(name), "missing builtin {name}");
+    }
+
+    let expand = hotnoc()
+        .args(["campaign", "expand", "--builtin", "sweep", "--quick"])
+        .output()
+        .expect("spawn");
+    assert!(expand.status.success());
+    let text = stdout(&expand);
+    assert!(text.contains("50 jobs"), "{text}");
+    assert!(text.contains("A/w0:ldpc/rotation/p8/s0"), "{text}");
+}
+
+#[test]
+fn scenario_run_prints_outcome_json() {
+    let dir = tmp_dir("scenario");
+    let spec = dir.join("scenario.json");
+    std::fs::write(
+        &spec,
+        r#"{
+  "name": "one-traffic",
+  "chip": {"config": "B"},
+  "workload": {"kind": "traffic", "pattern": "neighbor", "rate": 0.1, "packet_len": 2, "cycles": 150},
+  "policy": {"kind": "baseline"},
+  "mode": "cosim",
+  "fidelity": "quick",
+  "seed": 5
+}"#,
+    )
+    .unwrap();
+    let run = hotnoc()
+        .args(["scenario", "run", "--spec"])
+        .arg(&spec)
+        .output()
+        .expect("spawn");
+    assert!(run.status.success(), "stderr: {}", stderr(&run));
+    let text = stdout(&run);
+    assert!(text.contains("\"kind\": \"traffic\""), "{text}");
+    assert!(text.contains("\"drained\": true"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let bad = hotnoc().args(["campaign", "run"]).output().expect("spawn");
+    assert_eq!(bad.status.code(), Some(2));
+    let unknown = hotnoc().args(["frobnicate"]).output().expect("spawn");
+    assert_eq!(unknown.status.code(), Some(2));
+    let missing = hotnoc()
+        .args(["campaign", "run", "--builtin", "nope"])
+        .output()
+        .expect("spawn");
+    assert_eq!(missing.status.code(), Some(2));
+    // --quick contradicts a spec file's own fidelity: reject, don't ignore.
+    let conflict = hotnoc()
+        .args(["campaign", "run", "--spec", "whatever.json", "--quick"])
+        .output()
+        .expect("spawn");
+    assert_eq!(conflict.status.code(), Some(2));
+}

@@ -46,6 +46,22 @@ impl ChipConfigId {
     ];
 }
 
+impl std::str::FromStr for ChipConfigId {
+    type Err = String;
+
+    /// Parses a configuration letter, case-insensitively (`"a"`/`"A"`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "A" => Ok(ChipConfigId::A),
+            "B" => Ok(ChipConfigId::B),
+            "C" => Ok(ChipConfigId::C),
+            "D" => Ok(ChipConfigId::D),
+            "E" => Ok(ChipConfigId::E),
+            other => Err(format!("unknown chip configuration {other:?} (want A-E)")),
+        }
+    }
+}
+
 impl fmt::Display for ChipConfigId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -155,6 +171,16 @@ const WEIGHTS_E: [f64; 25] = [
     0.70, 0.75, 0.70, 0.75, 0.70, // y = 4
 ];
 
+/// LDPC code size and decoder iterations per fidelity level. 4320 bits at
+/// 20 iterations gives ~109 us blocks on the 4x4 chip at 500 MHz — the
+/// paper's migration period granularity.
+fn code_params(fidelity: Fidelity) -> (usize, usize) {
+    match fidelity {
+        Fidelity::Full => (4320, 20),
+        Fidelity::Quick => (480, 4),
+    }
+}
+
 impl ChipSpec {
     /// The specification of configuration `id` at the given fidelity.
     pub fn of(id: ChipConfigId, fidelity: Fidelity) -> ChipSpec {
@@ -165,12 +191,7 @@ impl ChipSpec {
             ChipConfigId::D => (5, 72.80, &WEIGHTS_D),
             ChipConfigId::E => (5, 75.98, &WEIGHTS_E),
         };
-        let (code_n, iterations) = match fidelity {
-            // 4320 bits at 20 iterations gives ~109 us blocks on the 4x4
-            // chip at 500 MHz — the paper's migration period granularity.
-            Fidelity::Full => (4320, 20),
-            Fidelity::Quick => (480, 4),
-        };
+        let (code_n, iterations) = code_params(fidelity);
         ChipSpec {
             id,
             mesh_side,
@@ -180,6 +201,45 @@ impl ChipSpec {
             wc: 3,
             wr: 6,
             seed: 0xDA7E_2005 + id as u64,
+            iterations,
+        }
+    }
+
+    /// A user-defined chip outside the paper's five configurations: a
+    /// square `mesh_side` x `mesh_side` die with arbitrary per-tile
+    /// workload weights, calibrated to `base_peak_celsius`. The LDPC code
+    /// parameters follow `fidelity` exactly as for the named
+    /// configurations.
+    ///
+    /// The `id` field of the returned spec is a placeholder
+    /// ([`ChipConfigId::A`]): custom chips are identified by the scenario
+    /// that owns them, not by a Figure 1 letter, and nothing in the
+    /// co-simulation pipeline reads `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_weights.len() != mesh_side * mesh_side`.
+    pub fn custom(
+        mesh_side: usize,
+        tile_weights: Vec<f64>,
+        base_peak_celsius: f64,
+        fidelity: Fidelity,
+    ) -> ChipSpec {
+        assert_eq!(
+            tile_weights.len(),
+            mesh_side * mesh_side,
+            "tile_weights must cover the {mesh_side}x{mesh_side} mesh"
+        );
+        let (code_n, iterations) = code_params(fidelity);
+        ChipSpec {
+            id: ChipConfigId::A,
+            mesh_side,
+            base_peak_celsius,
+            tile_weights,
+            code_n,
+            wc: 3,
+            wr: 6,
+            seed: 0xDA7E_2005,
             iterations,
         }
     }

@@ -69,6 +69,39 @@ pub fn period_ascii(table: &PeriodTable) -> String {
     out
 }
 
+/// Renders the period sweep as CSV
+/// (`blocks,period_us,penalty_pct,peak_c,reduction_c`).
+pub fn period_csv(table: &PeriodTable) -> String {
+    let mut out = String::from("blocks,period_us,penalty_pct,peak_c,reduction_c\n");
+    for r in &table.rows {
+        let _ = writeln!(
+            out,
+            "{},{:.3},{:.4},{:.3},{:.3}",
+            r.period_blocks, r.period_us, r.penalty_pct, r.peak, r.reduction
+        );
+    }
+    out
+}
+
+/// Renders the migration cost table as CSV
+/// (`scheme,phases,stall_us,flit_hops,energy_uj,moves`).
+pub fn migration_cost_csv(rows: &[MigrationCostRow]) -> String {
+    let mut out = String::from("scheme,phases,stall_us,flit_hops,energy_uj,moves\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{:.3},{},{:.3},{}",
+            r.scheme.to_string().replace(' ', "_").to_lowercase(),
+            r.phases,
+            r.stall_us,
+            r.flit_hops,
+            r.energy_uj,
+            r.moves
+        );
+    }
+    out
+}
+
 /// Renders the migration cost table.
 pub fn migration_cost_ascii(rows: &[MigrationCostRow]) -> String {
     let mut out = String::new();

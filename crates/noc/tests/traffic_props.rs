@@ -1,0 +1,102 @@
+//! Property tests for [`TrafficPattern::destination`]: containment on
+//! arbitrary meshes, the uniform-random self-exclusion contract, and the
+//! hotspot pattern's statistical rate.
+
+use hotnoc_noc::{Coord, Mesh, TrafficPattern};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// An arbitrary (possibly non-square) mesh with one coordinate on it.
+fn mesh_and_src() -> impl Strategy<Value = (Mesh, Coord)> {
+    (2usize..12, 2usize..12).prop_flat_map(|(w, h)| {
+        let mesh = Mesh::new(w, h).unwrap();
+        (
+            Just(mesh),
+            (0..w as u8, 0..h as u8).prop_map(|(x, y)| Coord::new(x, y)),
+        )
+    })
+}
+
+/// Every pattern family, parameterized where applicable. Hotspot nodes are
+/// derived from the mesh so they are always on it.
+fn patterns_for(mesh: Mesh) -> Vec<TrafficPattern> {
+    let w = mesh.width() as u8;
+    let h = mesh.height() as u8;
+    vec![
+        TrafficPattern::UniformRandom,
+        TrafficPattern::Transpose,
+        TrafficPattern::BitComplement,
+        TrafficPattern::Tornado,
+        TrafficPattern::Neighbor,
+        TrafficPattern::Hotspot {
+            nodes: vec![Coord::new(w / 2, h / 2), Coord::new(w - 1, 0)],
+            fraction: 0.7,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Destinations stay on the mesh for every pattern, every source and
+    /// arbitrary mesh shapes (including rectangles).
+    #[test]
+    fn destinations_always_in_bounds((mesh, src) in mesh_and_src(), seed in 0u64..1 << 32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for pattern in patterns_for(mesh) {
+            for _ in 0..32 {
+                let d = pattern.destination(mesh, src, &mut rng);
+                prop_assert!(mesh.contains(d), "{pattern:?} sent {src} -> {d} off {mesh}");
+            }
+        }
+    }
+
+    /// `UniformRandom` never picks the source itself.
+    #[test]
+    fn uniform_never_returns_the_source((mesh, src) in mesh_and_src(), seed in 0u64..1 << 32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..128 {
+            let d = TrafficPattern::UniformRandom.destination(mesh, src, &mut rng);
+            prop_assert_ne!(d, src);
+        }
+    }
+
+    /// The hotspot pattern targets the hotspot set at the configured rate:
+    /// a `fraction` direct hit plus uniform spillover, within statistical
+    /// tolerance.
+    #[test]
+    fn hotspot_fraction_hits_at_the_configured_rate(
+        (mesh, src) in mesh_and_src(),
+        fraction in 0.2f64..0.9,
+        seed in 0u64..1 << 32,
+    ) {
+        let w = mesh.width() as u8;
+        let h = mesh.height() as u8;
+        let nodes = vec![Coord::new(0, 0), Coord::new(w - 1, h - 1)];
+        let pattern = TrafficPattern::Hotspot {
+            nodes: nodes.clone(),
+            fraction,
+        };
+        let trials = 3000u32;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut hits = 0u32;
+        for _ in 0..trials {
+            if nodes.contains(&pattern.destination(mesh, src, &mut rng)) {
+                hits += 1;
+            }
+        }
+        // P(hit) = fraction + (1 - fraction) * |nodes \ {src}| / (N - 1):
+        // the uniform fallback excludes only the source.
+        let n = (mesh.len() - 1) as f64;
+        let spill = nodes.iter().filter(|&&c| c != src).count() as f64 / n;
+        let expected = fraction + (1.0 - fraction) * spill;
+        let observed = f64::from(hits) / f64::from(trials);
+        // ~5 sigma for p in [0.2, 1.0) at 3000 trials is under 0.046.
+        prop_assert!(
+            (observed - expected).abs() < 0.05,
+            "hotspot rate {observed:.3} vs expected {expected:.3} \
+             (fraction {fraction:.3}, mesh {mesh}, src {src})"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type of the scenario subsystem.
+
+use std::error::Error;
+use std::fmt;
+
+/// Anything that can go wrong while parsing, expanding or running a
+/// scenario or campaign.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// A spec document failed to parse or validate.
+    Spec(String),
+    /// A co-simulation substrate failed.
+    Core(hotnoc_core::CoreError),
+    /// The NoC simulator failed (traffic scenarios).
+    Noc(hotnoc_noc::NocError),
+    /// Filesystem trouble (manifest, campaign artifacts).
+    Io {
+        /// What was being accessed.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// One campaign job failed.
+    Job {
+        /// Job index within the campaign.
+        index: usize,
+        /// Scenario name of the failing job.
+        name: String,
+        /// The failure, rendered.
+        cause: String,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Spec(msg) => write!(f, "spec: {msg}"),
+            ScenarioError::Core(e) => write!(f, "core: {e}"),
+            ScenarioError::Noc(e) => write!(f, "noc: {e}"),
+            ScenarioError::Io { path, source } => write!(f, "io: {path}: {source}"),
+            ScenarioError::Job { index, name, cause } => {
+                write!(f, "job {index} ({name}) failed: {cause}")
+            }
+        }
+    }
+}
+
+impl Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScenarioError::Core(e) => Some(e),
+            ScenarioError::Noc(e) => Some(e),
+            ScenarioError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<hotnoc_core::CoreError> for ScenarioError {
+    fn from(e: hotnoc_core::CoreError) -> Self {
+        ScenarioError::Core(e)
+    }
+}
+
+impl From<hotnoc_noc::NocError> for ScenarioError {
+    fn from(e: hotnoc_noc::NocError) -> Self {
+        ScenarioError::Noc(e)
+    }
+}
+
+impl ScenarioError {
+    /// Wraps an IO error with the path it concerned.
+    pub fn io(path: &std::path::Path, source: std::io::Error) -> Self {
+        ScenarioError::Io {
+            path: path.display().to_string(),
+            source,
+        }
+    }
+}

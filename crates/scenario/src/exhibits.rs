@@ -1,0 +1,175 @@
+//! Reassembles the paper's exhibit tables from campaign results, so the
+//! `report_*` binaries are thin wrappers over the engine: run (or resume) a
+//! built-in campaign, then project its records onto the legacy
+//! `hotnoc-core` table types for rendering.
+
+use crate::outcome::ScenarioOutcome;
+use crate::runner::JobRecord;
+use crate::spec::{ChipKind, Policy};
+use hotnoc_core::configs::ChipConfigId;
+use hotnoc_core::experiment::{Fig1Row, Fig1Table, MigrationCostRow, PeriodRow, PeriodTable};
+use hotnoc_reconfig::MigrationScheme;
+
+/// The records of one chip configuration, in campaign order.
+fn records_of(records: &[JobRecord], id: ChipConfigId) -> Vec<&JobRecord> {
+    records
+        .iter()
+        .filter(|r| r.spec.chip == ChipKind::Config(id))
+        .collect()
+}
+
+/// Rebuilds the Figure 1 table from a `fig1`-shaped campaign (every config
+/// in [`ChipConfigId::ALL`] x every scheme in [`MigrationScheme::FIGURE1`],
+/// cosim outcomes).
+///
+/// # Errors
+///
+/// Reports the first missing (config, scheme) cell or non-cosim outcome.
+pub fn fig1_table(records: &[JobRecord]) -> Result<Fig1Table, String> {
+    let mut rows = Vec::new();
+    for id in ChipConfigId::ALL {
+        let of_config = records_of(records, id);
+        let mut results = Vec::new();
+        for scheme in MigrationScheme::FIGURE1 {
+            let rec = of_config
+                .iter()
+                .find(
+                    |r| matches!(r.spec.policy, Policy::Periodic { scheme: s, .. } if s == scheme),
+                )
+                .ok_or_else(|| format!("no record for config {id}, scheme {scheme}"))?;
+            let ScenarioOutcome::Cosim(m) = &rec.outcome else {
+                return Err(format!("record {} is not a cosim outcome", rec.spec.name));
+            };
+            results.push(m.to_cosim_result(Some(scheme)));
+        }
+        rows.push(Fig1Row {
+            config: id,
+            base_peak: results[0].base_peak,
+            results,
+        });
+    }
+    Ok(Fig1Table { rows })
+}
+
+/// Rebuilds the §3 period-sweep table for one config and scheme from a
+/// `period-sweep`-shaped campaign. Rows come out in campaign (axis) order.
+///
+/// # Errors
+///
+/// Reports a missing config or non-cosim outcomes.
+pub fn period_table(
+    records: &[JobRecord],
+    id: ChipConfigId,
+    scheme: MigrationScheme,
+) -> Result<PeriodTable, String> {
+    let mut rows = Vec::new();
+    for rec in records_of(records, id) {
+        let Policy::Periodic {
+            scheme: s,
+            period_blocks,
+        } = rec.spec.policy
+        else {
+            continue;
+        };
+        if s != scheme {
+            continue;
+        }
+        let ScenarioOutcome::Cosim(m) = &rec.outcome else {
+            return Err(format!("record {} is not a cosim outcome", rec.spec.name));
+        };
+        rows.push(PeriodRow {
+            period_blocks,
+            period_us: m.period_seconds * 1e6,
+            penalty_pct: m.throughput_penalty * 100.0,
+            peak: m.peak,
+            reduction: m.reduction,
+        });
+    }
+    if rows.is_empty() {
+        return Err(format!(
+            "no periodic records for config {id} under {scheme}"
+        ));
+    }
+    Ok(PeriodTable {
+        config: id,
+        scheme,
+        rows,
+    })
+}
+
+/// Rebuilds the §2.1–2.2 migration-cost table for one config from a
+/// `migration-cost`-shaped campaign (plan-cost outcomes), in
+/// [`MigrationScheme::FIGURE1`] order.
+///
+/// # Errors
+///
+/// Reports the first missing scheme or non-plan-cost outcome.
+pub fn migration_cost_rows(
+    records: &[JobRecord],
+    id: ChipConfigId,
+) -> Result<Vec<MigrationCostRow>, String> {
+    let of_config = records_of(records, id);
+    let mut rows = Vec::new();
+    for scheme in MigrationScheme::FIGURE1 {
+        let rec = of_config
+            .iter()
+            .find(|r| matches!(r.spec.policy, Policy::Periodic { scheme: s, .. } if s == scheme))
+            .ok_or_else(|| format!("no record for config {id}, scheme {scheme}"))?;
+        let ScenarioOutcome::PlanCost(m) = &rec.outcome else {
+            return Err(format!(
+                "record {} is not a plan-cost outcome",
+                rec.spec.name
+            ));
+        };
+        rows.push(MigrationCostRow {
+            scheme,
+            phases: m.phases as usize,
+            stall_us: m.stall_us,
+            flit_hops: m.flit_hops,
+            energy_uj: m.energy_uj,
+            moves: m.moves as usize,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::builtin;
+    use crate::runner::{run_campaign, RunnerOptions};
+    use hotnoc_core::configs::Fidelity;
+    use hotnoc_core::cosim::CosimParams;
+    use hotnoc_core::experiment::run_migration_cost;
+
+    #[test]
+    fn migration_cost_campaign_matches_the_direct_experiment() {
+        let dir = std::env::temp_dir().join(format!("hotnoc-exhibit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = builtin("migration-cost", Fidelity::Quick).unwrap();
+        let run = run_campaign(
+            &spec,
+            &RunnerOptions {
+                threads: 2,
+                out_dir: dir.clone(),
+                ..RunnerOptions::default()
+            },
+        )
+        .expect("campaign runs");
+        for id in [ChipConfigId::A, ChipConfigId::E] {
+            let via_engine = migration_cost_rows(&run.completed, id).expect("rows");
+            let direct =
+                run_migration_cost(id, Fidelity::Quick, &CosimParams::quick()).expect("direct");
+            assert_eq!(via_engine.len(), direct.len());
+            for (a, b) in via_engine.iter().zip(&direct) {
+                assert_eq!(a.scheme, b.scheme);
+                assert_eq!(a.phases, b.phases);
+                assert_eq!(a.flit_hops, b.flit_hops);
+                assert_eq!(a.moves, b.moves);
+                assert!((a.stall_us - b.stall_us).abs() < 1e-9);
+                assert!((a.energy_uj - b.energy_uj).abs() < 1e-9);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

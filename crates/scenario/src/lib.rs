@@ -1,0 +1,67 @@
+//! # hotnoc-scenario — declarative experiments and the campaign engine
+//!
+//! Everything the paper reproduction can simulate, expressible without
+//! writing Rust:
+//!
+//! * [`spec::ScenarioSpec`] describes **one run** — a chip (configuration
+//!   A–E or a custom mesh), a workload (LDPC decode or synthetic
+//!   [`hotnoc_noc::TrafficPattern`] traffic), a migration policy (baseline
+//!   / periodic / adaptive), a measurement mode, fidelity, horizon and
+//!   seed. Specs round-trip through canonical JSON ([`json`]).
+//! * [`campaign::CampaignSpec`] sweeps cartesian axes (chips x workloads x
+//!   policies x schemes x periods x seeds) and expands them into a
+//!   deterministic, stably-ordered job list with per-job seeds derived
+//!   from the campaign seed and job index.
+//! * [`runner::run_campaign`] executes jobs in parallel on `minipool`
+//!   (respecting `HOTNOC_THREADS`), journals every completed job to an
+//!   on-disk manifest so a killed campaign resumes without recomputation,
+//!   and emits a `CAMPAIGN_<name>.json` artifact that is **byte-identical
+//!   at any thread count** plus a human summary table.
+//! * [`builtin`] names the paper's exhibits (Figure 1, the period sweep,
+//!   migration cost, adaptive comparison) as ready-made campaigns;
+//!   [`exhibits`] projects campaign results back onto the legacy report
+//!   tables.
+//!
+//! The `hotnoc` CLI (`crates/cli`) fronts all of this from the shell.
+//!
+//! ```
+//! use hotnoc_scenario::builtin::builtin;
+//! use hotnoc_scenario::runner::{run_campaign, RunnerOptions};
+//! use hotnoc_core::configs::Fidelity;
+//!
+//! let spec = builtin("smoke", Fidelity::Quick).expect("known builtin");
+//! assert!(spec.expand().len() >= 4);
+//! # let dir = std::env::temp_dir().join(format!("hotnoc-doc-{}", std::process::id()));
+//! # let mut spec = spec;
+//! # spec.workloads.truncate(2); // keep the doctest fast: traffic-only
+//! # spec.workloads.remove(0);
+//! # spec.name = "doc-smoke".into();
+//! let run = run_campaign(&spec, &RunnerOptions {
+//!     threads: 2,
+//!     out_dir: dir.clone(),
+//!     ..RunnerOptions::default()
+//! })?;
+//! assert!(run.is_complete());
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), hotnoc_scenario::ScenarioError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builtin;
+pub mod campaign;
+pub mod error;
+pub mod exhibits;
+pub mod json;
+pub mod outcome;
+pub mod run;
+pub mod runner;
+pub mod spec;
+
+pub use campaign::{CampaignSpec, PolicyAxis};
+pub use error::ScenarioError;
+pub use outcome::ScenarioOutcome;
+pub use run::run_scenario;
+pub use runner::{run_campaign, CampaignRun, JobRecord, RunnerOptions};
+pub use spec::{ChipKind, Mode, Policy, ScenarioSpec, Workload};

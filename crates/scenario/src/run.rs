@@ -1,0 +1,294 @@
+//! Executes one [`ScenarioSpec`] and produces a [`ScenarioOutcome`].
+//!
+//! Every execution path is deterministic: LDPC co-simulations contain no
+//! randomness beyond the code-construction seed baked into the chip spec,
+//! and traffic scenarios seed their generator from the spec. Combined with
+//! the NoC's thread-count-invariant parallel sweep, the same spec produces
+//! bit-identical metrics on any machine at any `HOTNOC_THREADS`.
+
+use crate::error::ScenarioError;
+use crate::outcome::{
+    AdaptiveMetrics, CosimMetrics, PlanCostMetrics, ScenarioOutcome, TrafficMetrics,
+};
+use crate::spec::{fidelity_name, ChipKind, Mode, Policy, ScenarioSpec, Workload};
+use hotnoc_core::adaptive::run_adaptive_cosim;
+use hotnoc_core::configs::Fidelity;
+use hotnoc_core::cosim::run_cosim;
+use hotnoc_core::{CalibratedPower, Chip, CosimParams};
+use hotnoc_noc::{Mesh, Network, NocConfig, TrafficGenerator};
+use hotnoc_reconfig::phases::PhaseCostModel;
+use hotnoc_reconfig::{MigrationPlan, MigrationScheme, StateSpec};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Cycles the post-run drain of a traffic scenario may take, per injection
+/// cycle (plus a fixed floor). Generous: drain failure is a reportable
+/// outcome (`drained: false`), not an error.
+const DRAIN_BUDGET_PER_CYCLE: u64 = 50;
+const DRAIN_BUDGET_FLOOR: u64 = 50_000;
+
+/// The co-simulation parameters implied by a spec: fidelity default, then
+/// the policy's period and the optional horizon override.
+pub fn params_of(spec: &ScenarioSpec) -> CosimParams {
+    let mut p = match spec.fidelity {
+        Fidelity::Full => CosimParams::default(),
+        Fidelity::Quick => CosimParams::quick(),
+    };
+    match spec.policy {
+        Policy::Periodic { period_blocks, .. } | Policy::Adaptive { period_blocks } => {
+            p.period_blocks = period_blocks;
+        }
+        Policy::Baseline => {}
+    }
+    if let Some(ms) = spec.sim_time_ms {
+        p.sim_time = ms * 1e-3;
+        p.warmup = p.sim_time / 2.0;
+    }
+    p
+}
+
+/// Runs one scenario to completion.
+///
+/// # Errors
+///
+/// Propagates spec validation failures and substrate (chip construction,
+/// calibration, thermal, NoC) errors.
+pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioOutcome, ScenarioError> {
+    spec.validate().map_err(ScenarioError::Spec)?;
+    match &spec.workload {
+        Workload::Ldpc => run_ldpc(spec),
+        Workload::Traffic {
+            pattern,
+            rate,
+            packet_len,
+            cycles,
+        } => run_traffic(spec, pattern.clone(), *rate, *packet_len, *cycles),
+    }
+}
+
+/// Upper bound on cached calibrated chips; reaching it clears the cache
+/// (campaigns reuse a handful of chips, so eviction is a non-event).
+const CHIP_CACHE_CAP: usize = 32;
+
+/// Builds and calibrates the chip a scenario runs on, memoized process-wide
+/// by canonical chip JSON + fidelity. Building a chip is expensive (a full
+/// cycle-accurate NoC block simulation plus a bisection of leakage-coupled
+/// steady-state solves) and campaigns run many jobs against the same chip —
+/// e.g. `fig1` runs five schemes per configuration. Construction happens
+/// outside the lock so distinct chips calibrate in parallel; a race on one
+/// key wastes a duplicate build but stays deterministic (calibration is a
+/// pure function of the spec, so both results are identical).
+fn calibrated_chip(
+    kind: &ChipKind,
+    fidelity: Fidelity,
+) -> Result<Arc<(Chip, CalibratedPower)>, ScenarioError> {
+    type Cache = Mutex<HashMap<String, Arc<(Chip, CalibratedPower)>>>;
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = format!("{}|{}", fidelity_name(fidelity), kind.to_json());
+    if let Some(hit) = cache.lock().expect("chip cache lock").get(&key) {
+        return Ok(Arc::clone(hit));
+    }
+    let mut chip = Chip::build(kind.to_chip_spec(fidelity))?;
+    let cal = chip.calibrate()?;
+    let entry = Arc::new((chip, cal));
+    let mut map = cache.lock().expect("chip cache lock");
+    if map.len() >= CHIP_CACHE_CAP {
+        map.clear();
+    }
+    Ok(Arc::clone(map.entry(key).or_insert(entry)))
+}
+
+fn run_ldpc(spec: &ScenarioSpec) -> Result<ScenarioOutcome, ScenarioError> {
+    let params = params_of(spec);
+    let cached = calibrated_chip(&spec.chip, spec.fidelity)?;
+    let (chip, cal) = (&cached.0, &cached.1);
+    match (&spec.policy, spec.mode) {
+        (Policy::Periodic { scheme, .. }, Mode::PlanCost) => Ok(ScenarioOutcome::PlanCost(
+            plan_cost(chip, cal, *scheme, &params),
+        )),
+        (Policy::Baseline, _) => {
+            let r = run_cosim(chip, cal, None, &params)?;
+            Ok(ScenarioOutcome::Cosim(CosimMetrics::of(&r)))
+        }
+        (Policy::Periodic { scheme, .. }, Mode::Cosim) => {
+            let r = run_cosim(chip, cal, Some(*scheme), &params)?;
+            Ok(ScenarioOutcome::Cosim(CosimMetrics::of(&r)))
+        }
+        (Policy::Adaptive { .. }, _) => {
+            let r = run_adaptive_cosim(chip, cal, &params)?;
+            Ok(ScenarioOutcome::Adaptive(AdaptiveMetrics {
+                base_peak: r.base_peak,
+                peak: r.peak,
+                reduction: r.reduction,
+                throughput_penalty: r.throughput_penalty,
+                schedule: r.schedule,
+            }))
+        }
+    }
+}
+
+/// One migration's §2.1–2.2 cost under `scheme` (no transient solve).
+fn plan_cost(
+    chip: &Chip,
+    cal: &CalibratedPower,
+    scheme: MigrationScheme,
+    params: &CosimParams,
+) -> PlanCostMetrics {
+    let plan = MigrationPlan::plan(
+        chip.mesh(),
+        scheme,
+        &StateSpec::default(),
+        &PhaseCostModel::default(),
+    );
+    let stall_s = plan.total_cycles() as f64 / chip.noc_config().clock_hz;
+    let energy = plan.total_flit_hops() as f64 * params.e_flit_hop
+        + plan
+            .per_tile_endpoint_flits(chip.mesh())
+            .iter()
+            .sum::<u64>() as f64
+            * params.e_convert_flit
+        + stall_s * params.stall_power_fraction * cal.total_dynamic;
+    PlanCostMetrics {
+        phases: plan.num_phases() as u64,
+        stall_us: stall_s * 1e6,
+        flit_hops: plan.total_flit_hops(),
+        energy_uj: energy * 1e6,
+        moves: plan.total_moves() as u64,
+    }
+}
+
+fn run_traffic(
+    spec: &ScenarioSpec,
+    pattern: hotnoc_noc::TrafficPattern,
+    rate: f64,
+    packet_len: u32,
+    cycles: u64,
+) -> Result<ScenarioOutcome, ScenarioError> {
+    let mesh = Mesh::square(spec.chip.mesh_side())?;
+    let mut net = Network::new(mesh, NocConfig::default());
+    let mut gen = TrafficGenerator::new(mesh, pattern, rate, packet_len, spec.seed);
+    let budget = cycles.saturating_mul(DRAIN_BUDGET_PER_CYCLE) + DRAIN_BUDGET_FLOOR;
+    let (offered, drained) = gen.run(&mut net, cycles, budget);
+    let stats = net.stats();
+    Ok(ScenarioOutcome::Traffic(TrafficMetrics {
+        offered,
+        delivered: stats.packets_delivered,
+        drained,
+        mean_latency_cycles: stats.mean_latency().unwrap_or(0.0),
+        max_latency_cycles: stats.max_packet_latency,
+        flit_hops: stats.flit_hops,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ChipKind;
+    use hotnoc_core::configs::ChipConfigId;
+    use hotnoc_noc::TrafficPattern;
+
+    fn traffic_spec(seed: u64) -> ScenarioSpec {
+        ScenarioSpec {
+            name: format!("t{seed}"),
+            chip: ChipKind::Config(ChipConfigId::A),
+            workload: Workload::Traffic {
+                pattern: TrafficPattern::UniformRandom,
+                rate: 0.05,
+                packet_len: 4,
+                cycles: 400,
+            },
+            policy: Policy::Baseline,
+            mode: Mode::Cosim,
+            fidelity: Fidelity::Quick,
+            sim_time_ms: None,
+            seed,
+        }
+    }
+
+    #[test]
+    fn traffic_scenario_delivers_and_is_deterministic() {
+        let a = run_scenario(&traffic_spec(9)).unwrap();
+        let b = run_scenario(&traffic_spec(9)).unwrap();
+        assert_eq!(a, b);
+        let ScenarioOutcome::Traffic(m) = &a else {
+            panic!("expected traffic outcome");
+        };
+        assert!(m.drained);
+        assert!(m.offered > 0);
+        assert_eq!(m.delivered, m.offered);
+        assert!(m.mean_latency_cycles > 0.0);
+    }
+
+    #[test]
+    fn traffic_seed_changes_the_run() {
+        let a = run_scenario(&traffic_spec(1)).unwrap();
+        let b = run_scenario(&traffic_spec(2)).unwrap();
+        assert_ne!(a, b, "different seeds should offer different traffic");
+    }
+
+    #[test]
+    fn plan_cost_mode_matches_experiment_table() {
+        let spec = ScenarioSpec {
+            name: "cost".to_string(),
+            chip: ChipKind::Config(ChipConfigId::A),
+            workload: Workload::Ldpc,
+            policy: Policy::Periodic {
+                scheme: MigrationScheme::Rotation,
+                period_blocks: 1,
+            },
+            mode: Mode::PlanCost,
+            fidelity: Fidelity::Quick,
+            sim_time_ms: None,
+            seed: 0,
+        };
+        let out = run_scenario(&spec).unwrap();
+        let ScenarioOutcome::PlanCost(m) = &out else {
+            panic!("expected plan-cost outcome");
+        };
+        let rows = hotnoc_core::experiment::run_migration_cost(
+            ChipConfigId::A,
+            Fidelity::Quick,
+            &CosimParams::quick(),
+        )
+        .unwrap();
+        let rot = &rows[0];
+        assert_eq!(m.phases, rot.phases as u64);
+        assert_eq!(m.flit_hops, rot.flit_hops);
+        assert_eq!(m.moves, rot.moves as u64);
+        assert!((m.stall_us - rot.stall_us).abs() < 1e-9);
+        assert!((m.energy_uj - rot.energy_uj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ldpc_periodic_matches_run_cosim() {
+        let spec = ScenarioSpec {
+            name: "xy".to_string(),
+            chip: ChipKind::Config(ChipConfigId::A),
+            workload: Workload::Ldpc,
+            policy: Policy::Periodic {
+                scheme: MigrationScheme::XYShift,
+                period_blocks: 24,
+            },
+            mode: Mode::Cosim,
+            fidelity: Fidelity::Quick,
+            sim_time_ms: None,
+            seed: 0,
+        };
+        let out = run_scenario(&spec).unwrap();
+        let ScenarioOutcome::Cosim(m) = &out else {
+            panic!("expected cosim outcome");
+        };
+        let mut chip = Chip::build(spec.chip.to_chip_spec(Fidelity::Quick)).unwrap();
+        let cal = chip.calibrate().unwrap();
+        let direct = run_cosim(
+            &chip,
+            &cal,
+            Some(MigrationScheme::XYShift),
+            &CosimParams::quick(),
+        )
+        .unwrap();
+        assert_eq!(*m, CosimMetrics::of(&direct));
+        assert!(m.reduction > 0.5, "xy-shift should cool config A");
+    }
+}

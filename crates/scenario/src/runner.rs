@@ -1,0 +1,732 @@
+//! The campaign runner: executes an expanded job list in parallel on
+//! `minipool`, journals every completed job to an on-disk manifest, resumes
+//! a killed campaign from that manifest without recomputing, and emits the
+//! machine-readable `CAMPAIGN_<name>.json` artifact plus a human summary
+//! table.
+//!
+//! # Determinism
+//!
+//! Jobs are independent and each is internally deterministic (see
+//! [`crate::run`]); workers pull job indices from a shared counter, so
+//! *completion* order varies with the thread count, but results are stored
+//! by job index and the artifact is serialized in index order — the emitted
+//! `CAMPAIGN_<name>.json` is byte-identical at any `--threads`, and a
+//! resumed campaign (outcomes read back from the manifest) produces the
+//! same bytes as an uninterrupted one.
+//!
+//! # Manifest format (`CAMPAIGN_<name>.manifest.jsonl`)
+//!
+//! Line 1 is a header binding the journal to one campaign fingerprint;
+//! every further line is one completed job. A truncated trailing line
+//! (killed mid-write) is ignored on resume; a header that does not match
+//! the campaign being run restarts the journal from scratch.
+//!
+//! ```text
+//! {"schema": "hotnoc-campaign-manifest-v1", "name": ..., "fingerprint": ..., "jobs": N}
+//! {"job": 3, "scenario": "A/w0:ldpc/rotation/p8/s0", "outcome": {...}}
+//! ```
+
+use crate::campaign::CampaignSpec;
+use crate::error::ScenarioError;
+use crate::json::Json;
+use crate::outcome::ScenarioOutcome;
+use crate::run::run_scenario;
+use crate::spec::ScenarioSpec;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Schema tag of the `CAMPAIGN_<name>.json` artifact.
+pub const CAMPAIGN_SCHEMA: &str = "hotnoc-campaign-v1";
+
+/// Schema tag of the manifest journal header.
+pub const MANIFEST_SCHEMA: &str = "hotnoc-campaign-manifest-v1";
+
+/// How the runner executes a campaign.
+#[derive(Debug, Clone)]
+pub struct RunnerOptions {
+    /// Worker threads (>= 1). Defaults to `HOTNOC_THREADS` / available
+    /// parallelism via [`minipool::configured_threads`].
+    pub threads: usize,
+    /// Directory receiving the manifest and the campaign artifact.
+    pub out_dir: PathBuf,
+    /// Cap on how many *new* jobs this invocation executes; `None` runs to
+    /// completion. Used to exercise (and test) interrupt/resume.
+    pub max_jobs: Option<usize>,
+    /// Discard any existing manifest instead of resuming from it.
+    pub fresh: bool,
+    /// Print one progress line per completed job to stderr.
+    pub progress: bool,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> Self {
+        RunnerOptions {
+            threads: minipool::configured_threads(),
+            out_dir: PathBuf::from("."),
+            max_jobs: None,
+            fresh: false,
+            progress: false,
+        }
+    }
+}
+
+/// One completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Index in the expanded job list.
+    pub index: usize,
+    /// The job's scenario.
+    pub spec: ScenarioSpec,
+    /// Its result.
+    pub outcome: ScenarioOutcome,
+}
+
+/// The state of a campaign after one `run_campaign` invocation.
+#[derive(Debug)]
+pub struct CampaignRun {
+    /// The campaign that ran.
+    pub spec: CampaignSpec,
+    /// Completed jobs in index order (all of them when the run is
+    /// complete).
+    pub completed: Vec<JobRecord>,
+    /// Total jobs in the expanded list.
+    pub total_jobs: usize,
+    /// Jobs recovered from the manifest instead of recomputed.
+    pub resumed_jobs: usize,
+    /// Jobs executed by this invocation.
+    pub executed_jobs: usize,
+    /// Path of the manifest journal.
+    pub manifest_path: PathBuf,
+    /// Path of the emitted `CAMPAIGN_<name>.json`; `None` while the
+    /// campaign is still partial.
+    pub json_path: Option<PathBuf>,
+}
+
+impl CampaignRun {
+    /// `true` once every job has a journaled outcome.
+    pub fn is_complete(&self) -> bool {
+        self.completed.len() == self.total_jobs
+    }
+}
+
+/// Runs (or resumes) a campaign.
+///
+/// # Errors
+///
+/// Propagates spec validation failures, filesystem trouble and the first
+/// failing job (already-journaled sibling results survive for the next
+/// attempt).
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    opts: &RunnerOptions,
+) -> Result<CampaignRun, ScenarioError> {
+    spec.validate().map_err(ScenarioError::Spec)?;
+    let jobs = spec.expand();
+    let fingerprint = spec.fingerprint();
+    std::fs::create_dir_all(&opts.out_dir).map_err(|e| ScenarioError::io(&opts.out_dir, e))?;
+    let manifest_path = opts
+        .out_dir
+        .join(format!("CAMPAIGN_{}.manifest.jsonl", spec.name));
+    let json_path = opts.out_dir.join(format!("CAMPAIGN_{}.json", spec.name));
+
+    // Any pre-existing artifact is unproven from here on: the spec may have
+    // changed under the same name, and this run may stop partway. Remove it
+    // now and re-emit on completion, so artifact presence reliably signals
+    // "this campaign, complete".
+    match std::fs::remove_file(&json_path) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(ScenarioError::io(&json_path, e)),
+    }
+
+    // Recover completed jobs from a matching manifest.
+    let mut recovered = Recovered::default();
+    if !opts.fresh {
+        recovered = read_manifest(&manifest_path, &fingerprint, &jobs);
+    }
+    let mut done = recovered.outcomes;
+    let resumed_jobs = done.len();
+
+    // (Re)open the journal: append to a matching one, start a fresh one
+    // otherwise (fresh run, fingerprint mismatch, or no manifest yet).
+    let mut file = if resumed_jobs > 0 {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&manifest_path)
+            .map_err(|e| ScenarioError::io(&manifest_path, e))?;
+        if recovered.torn_tail {
+            // A kill mid-write left a partial final line. Terminate it so
+            // the first record this run appends starts on its own line
+            // instead of being fused onto the fragment (which would make
+            // that record unreadable to the *next* resume).
+            writeln!(f).map_err(|e| ScenarioError::io(&manifest_path, e))?;
+        }
+        f
+    } else {
+        let mut f = std::fs::File::create(&manifest_path)
+            .map_err(|e| ScenarioError::io(&manifest_path, e))?;
+        let header = Json::object(vec![
+            ("schema", Json::str(MANIFEST_SCHEMA)),
+            ("name", Json::Str(spec.name.clone())),
+            ("fingerprint", Json::Str(fingerprint.clone())),
+            ("jobs", Json::int(jobs.len() as u64)),
+        ]);
+        writeln!(f, "{header}").map_err(|e| ScenarioError::io(&manifest_path, e))?;
+        f
+    };
+    file.flush()
+        .map_err(|e| ScenarioError::io(&manifest_path, e))?;
+
+    // The work list: every job without a journaled outcome, optionally
+    // truncated to simulate an interrupt.
+    let mut pending: Vec<usize> = (0..jobs.len()).filter(|i| !done.contains_key(i)).collect();
+    if let Some(cap) = opts.max_jobs {
+        pending.truncate(cap);
+    }
+    let executed_jobs = pending.len();
+
+    // Parallel execution: workers pull indices from a shared counter and
+    // journal each completed job immediately (kill-safe), storing results
+    // by job index for deterministic assembly.
+    let results: Mutex<Vec<Option<Result<ScenarioOutcome, String>>>> =
+        Mutex::new(vec![None; jobs.len()]);
+    let manifest = Mutex::new(&mut file);
+    let next = AtomicUsize::new(0);
+    let finished = AtomicUsize::new(done.len());
+    let threads = opts.threads.clamp(1, minipool::MAX_WORKERS);
+    let pool = minipool::ThreadPool::new();
+    pool.ensure_workers(threads.saturating_sub(1));
+    pool.scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let slot = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&index) = pending.get(slot) else {
+                    return;
+                };
+                let job = &jobs[index];
+                match run_scenario(job) {
+                    Ok(outcome) => {
+                        let line = Json::object(vec![
+                            ("job", Json::int(index as u64)),
+                            ("scenario", Json::Str(job.name.clone())),
+                            ("outcome", outcome.to_json()),
+                        ]);
+                        {
+                            let mut f = manifest.lock().expect("manifest lock");
+                            // Journal failures are reported as job failures
+                            // below rather than killing the worker.
+                            let io = writeln!(f, "{line}").and_then(|()| f.flush());
+                            if let Err(e) = io {
+                                results.lock().expect("results lock")[index] =
+                                    Some(Err(format!("manifest write failed: {e}")));
+                                continue;
+                            }
+                        }
+                        if opts.progress {
+                            let n = finished.fetch_add(1, Ordering::Relaxed) + 1;
+                            eprintln!("[{n}/{}] {}: {}", jobs.len(), job.name, outcome.summary());
+                        }
+                        results.lock().expect("results lock")[index] = Some(Ok(outcome));
+                    }
+                    Err(e) => {
+                        results.lock().expect("results lock")[index] = Some(Err(e.to_string()));
+                    }
+                }
+            });
+        }
+    });
+
+    // Merge journaled and freshly computed outcomes; the first failure (by
+    // job index) aborts, but everything journaled stays resumable.
+    let results = results.into_inner().expect("results lock");
+    for (index, slot) in results.into_iter().enumerate() {
+        match slot {
+            None => {}
+            Some(Ok(outcome)) => {
+                done.insert(index, outcome);
+            }
+            Some(Err(cause)) => {
+                return Err(ScenarioError::Job {
+                    index,
+                    name: jobs[index].name.clone(),
+                    cause,
+                });
+            }
+        }
+    }
+
+    let completed: Vec<JobRecord> = done
+        .into_iter()
+        .map(|(index, outcome)| JobRecord {
+            index,
+            spec: jobs[index].clone(),
+            outcome,
+        })
+        .collect();
+
+    let mut run = CampaignRun {
+        spec: spec.clone(),
+        completed,
+        total_jobs: jobs.len(),
+        resumed_jobs,
+        executed_jobs,
+        manifest_path,
+        json_path: None,
+    };
+    if run.is_complete() {
+        std::fs::write(&json_path, campaign_json(spec, &run.completed))
+            .map_err(|e| ScenarioError::io(&json_path, e))?;
+        run.json_path = Some(json_path);
+    }
+    Ok(run)
+}
+
+/// What [`read_manifest`] recovered from a journal.
+#[derive(Debug, Default)]
+struct Recovered {
+    /// The journaled outcomes (empty when the header did not match).
+    outcomes: BTreeMap<usize, ScenarioOutcome>,
+    /// The file ends mid-line (killed during a write): the appender must
+    /// terminate the fragment before journaling anything new.
+    torn_tail: bool,
+}
+
+/// Reads a manifest journal, returning the outcomes whose header matches
+/// `fingerprint` and whose job lines are well-formed and consistent with
+/// the expanded `jobs`. Malformed lines — including a truncated final line
+/// from a killed run — are skipped.
+fn read_manifest(path: &Path, fingerprint: &str, jobs: &[ScenarioSpec]) -> Recovered {
+    let mut out = Recovered::default();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return out;
+    };
+    let mut lines = text.lines();
+    let header_ok = lines
+        .next()
+        .and_then(|h| Json::parse(h).ok())
+        .is_some_and(|h| {
+            h.get("schema").and_then(Json::as_str) == Some(MANIFEST_SCHEMA)
+                && h.get("fingerprint").and_then(Json::as_str) == Some(fingerprint)
+                && h.get("jobs").and_then(Json::as_u64) == Some(jobs.len() as u64)
+        });
+    if !header_ok {
+        return out;
+    }
+    out.torn_tail = !text.ends_with('\n');
+    for line in lines {
+        let Ok(j) = Json::parse(line) else {
+            continue;
+        };
+        let Some(index) = j.get("job").and_then(Json::as_u64).map(|i| i as usize) else {
+            continue;
+        };
+        if index >= jobs.len()
+            || j.get("scenario").and_then(Json::as_str) != Some(&jobs[index].name)
+        {
+            continue;
+        }
+        let Some(outcome) = j
+            .get("outcome")
+            .and_then(|o| ScenarioOutcome::from_json(o).ok())
+        else {
+            continue;
+        };
+        out.outcomes.insert(index, outcome);
+    }
+    out
+}
+
+/// Serializes a completed campaign to the `hotnoc-campaign-v1` document.
+/// Records embed both the scenario spec and the outcome, so the artifact is
+/// self-describing and reproducible.
+pub fn campaign_json(spec: &CampaignSpec, records: &[JobRecord]) -> String {
+    let doc = Json::object(vec![
+        ("schema", Json::str(CAMPAIGN_SCHEMA)),
+        ("name", Json::Str(spec.name.clone())),
+        ("seed", Json::int(spec.seed)),
+        ("fingerprint", Json::Str(spec.fingerprint())),
+        ("spec", spec.to_json()),
+        ("jobs", Json::int(records.len() as u64)),
+        (
+            "results",
+            Json::Array(
+                records
+                    .iter()
+                    .map(|r| {
+                        Json::object(vec![
+                            ("job", Json::int(r.index as u64)),
+                            ("scenario", Json::Str(r.spec.name.clone())),
+                            ("spec", r.spec.to_json()),
+                            ("outcome", r.outcome.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let mut text = doc.to_string();
+    text.push('\n');
+    text
+}
+
+/// A parsed-and-validated `CAMPAIGN_<name>.json` document.
+#[derive(Debug)]
+pub struct CampaignDoc {
+    /// The embedded campaign spec.
+    pub spec: CampaignSpec,
+    /// The completed jobs, in index order.
+    pub records: Vec<JobRecord>,
+}
+
+/// Strictly parses and cross-validates a campaign artifact: schema tag,
+/// fingerprint consistency with the embedded spec, job count and order,
+/// and that every record's scenario matches what the spec expands to.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn parse_campaign_document(text: &str) -> Result<CampaignDoc, String> {
+    let j = Json::parse(text)?;
+    let schema = j.req_str("schema")?;
+    if schema != CAMPAIGN_SCHEMA {
+        return Err(format!(
+            "unknown schema {schema:?} (want {CAMPAIGN_SCHEMA:?})"
+        ));
+    }
+    let spec = CampaignSpec::from_json(j.req("spec")?)?;
+    if j.req_str("name")? != spec.name {
+        return Err("top-level name differs from the embedded spec".into());
+    }
+    if j.req_u64("seed")? != spec.seed {
+        return Err("top-level seed differs from the embedded spec".into());
+    }
+    if j.req_str("fingerprint")? != spec.fingerprint() {
+        return Err("fingerprint does not match the embedded spec".into());
+    }
+    let jobs = spec.expand();
+    let declared = j.req_u64("jobs")? as usize;
+    let results = j.req_array("results")?;
+    if declared != results.len() {
+        return Err(format!(
+            "jobs field says {declared} but results has {} entries",
+            results.len()
+        ));
+    }
+    if results.len() != jobs.len() {
+        return Err(format!(
+            "campaign expands to {} jobs but the document records {}",
+            jobs.len(),
+            results.len()
+        ));
+    }
+    let mut records = Vec::with_capacity(results.len());
+    for (i, rec) in results.iter().enumerate() {
+        let ctx = |e: String| format!("results[{i}]: {e}");
+        let index = rec.req_u64("job").map_err(ctx)? as usize;
+        if index != i {
+            return Err(format!("results[{i}] is job {index} (order broken)"));
+        }
+        let spec_i = ScenarioSpec::from_json(rec.req("spec").map_err(ctx)?).map_err(ctx)?;
+        if spec_i != jobs[i] {
+            return Err(format!(
+                "results[{i}] spec does not match the campaign expansion ({})",
+                jobs[i].name
+            ));
+        }
+        if rec.req_str("scenario").map_err(ctx)? != jobs[i].name {
+            return Err(format!("results[{i}] scenario name mismatch"));
+        }
+        let outcome = ScenarioOutcome::from_json(rec.req("outcome").map_err(ctx)?).map_err(ctx)?;
+        records.push(JobRecord {
+            index,
+            spec: spec_i,
+            outcome,
+        });
+    }
+    Ok(CampaignDoc { spec, records })
+}
+
+/// Renders the human summary table of a campaign run.
+pub fn summary_table(run: &CampaignRun) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "campaign {} — {}/{} jobs ({} resumed, {} executed)\n",
+        run.spec.name,
+        run.completed.len(),
+        run.total_jobs,
+        run.resumed_jobs,
+        run.executed_jobs,
+    ));
+    let name_w = run
+        .completed
+        .iter()
+        .map(|r| r.spec.name.len())
+        .max()
+        .unwrap_or(8)
+        .max(8);
+    s.push_str(&format!("{:>5}  {:<name_w$}  outcome\n", "job", "scenario"));
+    for r in &run.completed {
+        s.push_str(&format!(
+            "{:>5}  {:<name_w$}  {}\n",
+            r.index,
+            r.spec.name,
+            r.outcome.summary()
+        ));
+    }
+    if !run.is_complete() {
+        s.push_str(&format!(
+            "(partial: {} jobs still pending — re-run to resume from the manifest)\n",
+            run.total_jobs - run.completed.len()
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::PolicyAxis;
+    use crate::spec::{ChipKind, Mode, Workload};
+    use hotnoc_core::configs::{ChipConfigId, Fidelity};
+    use hotnoc_noc::TrafficPattern;
+
+    fn tiny_campaign(name: &str) -> CampaignSpec {
+        CampaignSpec {
+            name: name.to_string(),
+            seed: 7,
+            fidelity: Fidelity::Quick,
+            mode: Mode::Cosim,
+            sim_time_ms: None,
+            configs: vec![ChipKind::Config(ChipConfigId::A)],
+            workloads: vec![
+                Workload::Traffic {
+                    pattern: TrafficPattern::UniformRandom,
+                    rate: 0.05,
+                    packet_len: 2,
+                    cycles: 200,
+                },
+                Workload::Traffic {
+                    pattern: TrafficPattern::Transpose,
+                    rate: 0.05,
+                    packet_len: 2,
+                    cycles: 200,
+                },
+            ],
+            policies: vec![PolicyAxis::Baseline],
+            schemes: vec![],
+            periods: vec![],
+            seeds: vec![1, 2, 3],
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hotnoc-runner-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn complete_run_emits_validating_artifact() {
+        let dir = tmp_dir("complete");
+        let spec = tiny_campaign("unit-complete");
+        let run = run_campaign(
+            &spec,
+            &RunnerOptions {
+                threads: 2,
+                out_dir: dir.clone(),
+                ..RunnerOptions::default()
+            },
+        )
+        .expect("runs");
+        assert!(run.is_complete());
+        assert_eq!(run.total_jobs, 6);
+        assert_eq!(run.executed_jobs, 6);
+        assert_eq!(run.resumed_jobs, 0);
+        let text = std::fs::read_to_string(run.json_path.as_ref().expect("artifact")).unwrap();
+        let doc = parse_campaign_document(&text).expect("validates");
+        assert_eq!(doc.records.len(), 6);
+        let table = summary_table(&run);
+        assert!(table.contains("6/6 jobs"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_run_resumes_without_recomputation() {
+        let dir = tmp_dir("resume");
+        let spec = tiny_campaign("unit-resume");
+        let opts = RunnerOptions {
+            threads: 1,
+            out_dir: dir.clone(),
+            ..RunnerOptions::default()
+        };
+        // Straight-through reference run in a sibling directory.
+        let ref_dir = tmp_dir("resume-ref");
+        let full = run_campaign(
+            &spec,
+            &RunnerOptions {
+                out_dir: ref_dir.clone(),
+                ..opts.clone()
+            },
+        )
+        .expect("reference run");
+        let reference = std::fs::read(full.json_path.as_ref().unwrap()).unwrap();
+
+        // Interrupted run: 2 jobs, then resume to completion.
+        let partial = run_campaign(
+            &spec,
+            &RunnerOptions {
+                max_jobs: Some(2),
+                ..opts.clone()
+            },
+        )
+        .expect("partial run");
+        assert!(!partial.is_complete());
+        assert_eq!(partial.completed.len(), 2);
+        assert!(partial.json_path.is_none());
+
+        let resumed = run_campaign(&spec, &opts).expect("resume");
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.resumed_jobs, 2);
+        assert_eq!(resumed.executed_jobs, 4);
+        let resumed_bytes = std::fs::read(resumed.json_path.as_ref().unwrap()).unwrap();
+        assert_eq!(
+            resumed_bytes, reference,
+            "resumed artifact differs from uninterrupted run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&ref_dir);
+    }
+
+    #[test]
+    fn resume_after_torn_tail_keeps_its_own_journal_readable() {
+        // A kill mid-write leaves a partial final line; the next run must
+        // terminate that fragment before appending, or the record it
+        // journals right after would fuse onto the fragment and be lost to
+        // the *second* resume.
+        let dir = tmp_dir("torn");
+        let spec = tiny_campaign("unit-torn");
+        let base = RunnerOptions {
+            threads: 1,
+            out_dir: dir.clone(),
+            ..RunnerOptions::default()
+        };
+        let first = run_campaign(
+            &spec,
+            &RunnerOptions {
+                max_jobs: Some(2),
+                ..base.clone()
+            },
+        )
+        .expect("partial run");
+        // Tear the journal: append half a record with no newline.
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&first.manifest_path)
+            .unwrap();
+        write!(f, "{{\"job\": 5, \"scenario\": \"half-writ").unwrap();
+        drop(f);
+
+        // One more job journaled on top of the torn tail...
+        let second = run_campaign(
+            &spec,
+            &RunnerOptions {
+                max_jobs: Some(1),
+                ..base.clone()
+            },
+        )
+        .expect("resume over torn tail");
+        assert_eq!(second.resumed_jobs, 2);
+        // ...must still be recoverable by the next resume.
+        let third = run_campaign(&spec, &base).expect("final resume");
+        assert_eq!(
+            third.resumed_jobs, 3,
+            "the job journaled after the torn tail was lost"
+        );
+        assert!(third.is_complete());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn edited_campaign_invalidates_the_manifest() {
+        let dir = tmp_dir("edited");
+        let mut spec = tiny_campaign("unit-edited");
+        let opts = RunnerOptions {
+            threads: 1,
+            out_dir: dir.clone(),
+            max_jobs: Some(3),
+            ..RunnerOptions::default()
+        };
+        run_campaign(&spec, &opts).expect("partial");
+        // Editing the campaign changes the fingerprint: nothing resumes.
+        spec.seeds.push(4);
+        let rerun = run_campaign(
+            &spec,
+            &RunnerOptions {
+                max_jobs: None,
+                ..opts
+            },
+        )
+        .expect("fresh restart");
+        assert_eq!(rerun.resumed_jobs, 0);
+        assert!(rerun.is_complete());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_artifact_is_removed_when_the_campaign_changes_or_stops_partway() {
+        let dir = tmp_dir("stale");
+        let mut spec = tiny_campaign("unit-stale");
+        let opts = RunnerOptions {
+            threads: 1,
+            out_dir: dir.clone(),
+            ..RunnerOptions::default()
+        };
+        let full = run_campaign(&spec, &opts).expect("complete run");
+        let artifact = full.json_path.expect("artifact written");
+        assert!(artifact.exists());
+
+        // Same name, different spec, interrupted: the old artifact must not
+        // survive to masquerade as this campaign's result.
+        spec.seeds.push(9);
+        let partial = run_campaign(
+            &spec,
+            &RunnerOptions {
+                max_jobs: Some(1),
+                ..opts
+            },
+        )
+        .expect("partial run of the edited campaign");
+        assert!(!partial.is_complete());
+        assert!(
+            !artifact.exists(),
+            "stale CAMPAIGN json from the old spec still present"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validator_rejects_tampered_documents() {
+        let dir = tmp_dir("tamper");
+        let spec = tiny_campaign("unit-tamper");
+        let run = run_campaign(
+            &spec,
+            &RunnerOptions {
+                threads: 1,
+                out_dir: dir.clone(),
+                ..RunnerOptions::default()
+            },
+        )
+        .expect("runs");
+        let text = std::fs::read_to_string(run.json_path.as_ref().unwrap()).unwrap();
+        assert!(parse_campaign_document(&text).is_ok());
+        let tampered = text.replace("\"seed\": 7", "\"seed\": 8");
+        assert!(parse_campaign_document(&tampered).is_err());
+        let truncated = text.replace("\"jobs\": 6", "\"jobs\": 5");
+        assert!(parse_campaign_document(&truncated).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -12,7 +12,10 @@
 //! * [`reconfig`] — migration transforms and the runtime reconfiguration
 //!   engine,
 //! * [`core`] — the co-simulation runtime and the paper's chip
-//!   configurations A–E.
+//!   configurations A–E,
+//! * [`scenario`] — declarative experiment specs, the campaign engine and
+//!   the resumable parallel campaign runner (fronted by the `hotnoc` CLI in
+//!   `crates/cli`).
 //!
 //! ## Quickstart
 //!
@@ -37,4 +40,5 @@ pub use hotnoc_noc as noc;
 pub use hotnoc_placement as placement;
 pub use hotnoc_power as power;
 pub use hotnoc_reconfig as reconfig;
+pub use hotnoc_scenario as scenario;
 pub use hotnoc_thermal as thermal;
