@@ -5,19 +5,29 @@
 //! hotnoc campaign list
 //! hotnoc campaign expand (--builtin NAME | --spec FILE) [--quick]
 //! hotnoc campaign check FILE...
+//! hotnoc campaign diff A.json B.json [options]
 //! hotnoc scenario run --spec FILE
 //! ```
 //!
 //! Exit codes: 0 = success (a partial `--max-jobs` run that stopped on
-//! schedule is a success), 1 = runtime failure (job failed, artifact
-//! invalid, write failed), 2 = usage error.
+//! schedule is a success; a diff without `--fail-on-regression` is a
+//! success whatever it finds). 1 = runtime failure (job failed, write
+//! failed), a `check` cross-validation failure, or a gated `diff`
+//! regression. 2 = usage error or bad input (unreadable file, not JSON,
+//! missing/unknown `schema` tag); for `diff`, *any* unusable artifact —
+//! including one that fails cross-validation — is bad input (exit 2),
+//! mirroring `bench_regress`, so exit 1 from `diff` always means "a
+//! regression was detected".
 
 use hotnoc_core::configs::Fidelity;
 use hotnoc_scenario::builtin::{builtin, BUILTINS};
+use hotnoc_scenario::exhibits::{latency_load_curves, render_latency_load};
+use hotnoc_scenario::json::Json;
 use hotnoc_scenario::runner::{
-    parse_campaign_document, run_campaign, summary_table, RunnerOptions,
+    run_campaign, summary_table, validate_campaign_json, CampaignDoc, RunnerOptions,
+    CAMPAIGN_SCHEMA,
 };
-use hotnoc_scenario::{CampaignSpec, ScenarioSpec};
+use hotnoc_scenario::{diff_campaigns, CampaignSpec, ScenarioSpec};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -31,6 +41,8 @@ USAGE:
     hotnoc campaign list
     hotnoc campaign expand (--builtin NAME | --spec FILE) [--quick]
     hotnoc campaign check FILE...
+    hotnoc campaign diff A.json B.json [--threshold-pct N]
+                        [--fail-on-regression]
     hotnoc scenario run --spec FILE
 
 OPTIONS:
@@ -43,6 +55,13 @@ OPTIONS:
     --quick          run built-ins at quick fidelity (seconds, not minutes);
                      spec files set their own \"fidelity\" instead
     --quiet          suppress per-job progress lines
+
+DIFF OPTIONS (campaign B is compared against the A baseline):
+    --threshold-pct N      regression threshold in percent (default 15):
+                           the gate trips when the median worsening ratio
+                           over aligned groups exceeds 1 + N/100
+    --fail-on-regression   exit 1 when the gate trips (otherwise the
+                           verdict is informational and the exit is 0)
 ";
 
 fn main() -> ExitCode {
@@ -53,6 +72,7 @@ fn main() -> ExitCode {
         ["campaign", "list"] => campaign_list(),
         ["campaign", "expand", rest @ ..] => campaign_expand(rest),
         ["campaign", "check", rest @ ..] if !rest.is_empty() => campaign_check(rest),
+        ["campaign", "diff", rest @ ..] => campaign_diff(rest),
         ["scenario", "run", rest @ ..] => scenario_run(rest),
         ["help"] | ["--help"] | ["-h"] => {
             print!("{USAGE}");
@@ -179,7 +199,14 @@ fn campaign_run(args: &[&str]) -> ExitCode {
             if run.resumed_jobs > 0 {
                 println!("resumed {} job(s) from the manifest", run.resumed_jobs);
             }
-            if let Some(path) = &run.json_path {
+            if run.is_complete() {
+                // The saturation-curve exhibit, when the campaign swept an
+                // offered-load axis.
+                if let Some(table) = render_latency_load(&latency_load_curves(&run.completed)) {
+                    print!("\n{table}");
+                }
+            }
+            for path in [&run.json_path, &run.aggregate_path].into_iter().flatten() {
                 println!("[saved {}]", path.display());
             }
             ExitCode::SUCCESS
@@ -222,34 +249,117 @@ fn campaign_expand(args: &[&str]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn campaign_check(paths: &[&str]) -> ExitCode {
-    let mut ok = true;
-    for path in paths {
-        match std::fs::read_to_string(path) {
-            Err(e) => {
-                eprintln!("{path}: INVALID: {e}");
-                ok = false;
-            }
-            Ok(text) => match parse_campaign_document(&text) {
-                Err(e) => {
-                    eprintln!("{path}: INVALID: {e}");
-                    ok = false;
-                }
-                Ok(doc) => {
-                    println!(
-                        "{path}: ok (campaign {}, {} jobs)",
-                        doc.spec.name,
-                        doc.records.len()
-                    );
-                }
-            },
+/// Why a campaign artifact failed to load: bad input (not a campaign
+/// artifact at all — exit 2) vs a document that names the schema but
+/// fails cross-validation (exit 1 in `check`).
+enum LoadFailure {
+    BadInput(String),
+    Invalid(String),
+}
+
+/// Loads and strictly validates a `CAMPAIGN_*.json` artifact, classifying
+/// failures. An unreadable file, non-JSON content, or a missing/unknown
+/// `schema` field is *bad input*, not an invalid campaign: those never
+/// were campaign artifacts, and the subcommands report them cleanly with
+/// exit 2 instead of treating them as failed validations (or panicking).
+fn load_artifact(path: &str) -> Result<CampaignDoc, LoadFailure> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| LoadFailure::BadInput(format!("{path}: {e}")))?;
+    let doc = Json::parse(&text).map_err(|e| LoadFailure::BadInput(format!("{path}: {e}")))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(CAMPAIGN_SCHEMA) => {}
+        Some(other) => {
+            return Err(LoadFailure::BadInput(format!(
+                "{path}: unknown schema {other:?} (want {CAMPAIGN_SCHEMA:?})"
+            )))
+        }
+        None => {
+            return Err(LoadFailure::BadInput(format!(
+                "{path}: missing \"schema\" field — not a campaign artifact"
+            )))
         }
     }
-    if ok {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
+    validate_campaign_json(&doc).map_err(|e| LoadFailure::Invalid(format!("{path}: {e}")))
+}
+
+fn campaign_check(paths: &[&str]) -> ExitCode {
+    let mut invalid = false;
+    let mut bad_input = false;
+    for path in paths {
+        match load_artifact(path) {
+            Err(LoadFailure::BadInput(e)) => {
+                eprintln!("{e}");
+                bad_input = true;
+            }
+            Err(LoadFailure::Invalid(e)) => {
+                eprintln!("{e}: INVALID");
+                invalid = true;
+            }
+            Ok(doc) => {
+                println!(
+                    "{path}: ok (campaign {}, {} jobs)",
+                    doc.spec.name,
+                    doc.records.len()
+                );
+            }
+        }
     }
+    if bad_input {
+        ExitCode::from(2)
+    } else if invalid {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn campaign_diff(args: &[&str]) -> ExitCode {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut threshold_pct = 15.0f64;
+    let mut fail_on_regression = false;
+    let mut it = args.iter();
+    while let Some(&arg) = it.next() {
+        match arg {
+            "--threshold-pct" => {
+                let Some(v) = it.next() else {
+                    return usage_error("--threshold-pct needs a value");
+                };
+                match v.parse::<f64>() {
+                    Ok(p) if p.is_finite() && p >= 0.0 => threshold_pct = p,
+                    _ => return usage_error("--threshold-pct must be a non-negative number"),
+                }
+            }
+            "--fail-on-regression" => fail_on_regression = true,
+            other if other.starts_with("--") => {
+                return usage_error(&format!("unknown flag {other:?}"))
+            }
+            path => paths.push(path),
+        }
+    }
+    if paths.len() != 2 {
+        return usage_error("campaign diff needs exactly two artifact files");
+    }
+    let (path_a, path_b) = (paths[0], paths[1]);
+    let load = |path: &str| match load_artifact(path) {
+        Ok(doc) => Ok(doc),
+        Err(LoadFailure::BadInput(e) | LoadFailure::Invalid(e)) => {
+            eprintln!("hotnoc: {e}");
+            Err(())
+        }
+    };
+    let (Ok(a), Ok(b)) = (load(path_a), load(path_b)) else {
+        return ExitCode::from(2);
+    };
+    let report = diff_campaigns(&a, &b, threshold_pct);
+    print!("{}", report.render());
+    if report.groups.is_empty() {
+        eprintln!("hotnoc: the campaigns share no comparable groups");
+        return ExitCode::from(2);
+    }
+    if fail_on_regression && report.regressed() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn scenario_run(args: &[&str]) -> ExitCode {

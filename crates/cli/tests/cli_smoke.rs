@@ -1,7 +1,9 @@
 //! End-to-end tests of the `hotnoc` binary: campaign run / interrupt /
-//! resume / check, spec-file campaigns, single scenarios, and exit codes.
+//! resume / check / diff, spec-file campaigns, single scenarios, and exit
+//! codes.
 
-use std::path::PathBuf;
+use hotnoc_scenario::json::Json;
+use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
 
 fn hotnoc() -> Command {
@@ -178,6 +180,187 @@ fn scenario_run_prints_outcome_json() {
     let text = stdout(&run);
     assert!(text.contains("\"kind\": \"traffic\""), "{text}");
     assert!(text.contains("\"drained\": true"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Path of a committed test fixture.
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Scales every `mean_latency_cycles` field in a campaign document —
+/// the "synthetically slowed artifact" of the regression-gate tests.
+fn scale_latencies(j: &mut Json, factor: f64) {
+    match j {
+        Json::Object(fields) => {
+            for (k, v) in fields.iter_mut() {
+                if k == "mean_latency_cycles" {
+                    if let Json::Num(x) = v {
+                        *x *= factor;
+                    }
+                } else {
+                    scale_latencies(v, factor);
+                }
+            }
+        }
+        Json::Array(items) => {
+            for item in items.iter_mut() {
+                scale_latencies(item, factor);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[test]
+fn campaign_diff_golden_report_and_exit_codes() {
+    // Exit 0 + byte-for-byte golden report: two committed runs of the same
+    // spec under different seed sets must diff to inconclusive groups with
+    // near-unit ratios.
+    let out = hotnoc()
+        .args(["campaign", "diff"])
+        .arg(fixture("CAMPAIGN_fix-a.json"))
+        .arg(fixture("CAMPAIGN_fix-b.json"))
+        .output()
+        .expect("spawn hotnoc");
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let golden = std::fs::read_to_string(fixture("diff_fix-a_fix-b.golden.txt")).unwrap();
+    assert_eq!(
+        stdout(&out),
+        golden,
+        "diff report drifted from the committed golden"
+    );
+    assert!(stdout(&out).contains("inconclusive"));
+
+    // Exit 1: a synthetically slowed B trips --fail-on-regression.
+    let dir = tmp_dir("diff");
+    let text = std::fs::read_to_string(fixture("CAMPAIGN_fix-b.json")).unwrap();
+    let mut doc = Json::parse(&text).expect("fixture parses");
+    scale_latencies(&mut doc, 1.5);
+    let slowed = dir.join("CAMPAIGN_slowed.json");
+    std::fs::write(&slowed, format!("{doc}\n")).unwrap();
+    let regressed = hotnoc()
+        .args(["campaign", "diff"])
+        .arg(fixture("CAMPAIGN_fix-a.json"))
+        .arg(&slowed)
+        .args(["--fail-on-regression", "--threshold-pct", "15"])
+        .output()
+        .expect("spawn hotnoc");
+    assert_eq!(
+        regressed.status.code(),
+        Some(1),
+        "stdout: {}\nstderr: {}",
+        stdout(&regressed),
+        stderr(&regressed)
+    );
+    assert!(stdout(&regressed).contains("verdict: REGRESSED"));
+    // Without the gate flag the same diff is informational: exit 0.
+    let informational = hotnoc()
+        .args(["campaign", "diff"])
+        .arg(fixture("CAMPAIGN_fix-a.json"))
+        .arg(&slowed)
+        .output()
+        .expect("spawn hotnoc");
+    assert_eq!(informational.status.code(), Some(0));
+    // A generous threshold absorbs the 50% slowdown.
+    let tolerant = hotnoc()
+        .args(["campaign", "diff"])
+        .arg(fixture("CAMPAIGN_fix-a.json"))
+        .arg(&slowed)
+        .args(["--fail-on-regression", "--threshold-pct", "80"])
+        .output()
+        .expect("spawn hotnoc");
+    assert_eq!(tolerant.status.code(), Some(0));
+
+    // Exit 2: a cross-validation failure is bad input for diff — exit 1
+    // is reserved for gated regressions.
+    let tampered = dir.join("tampered.json");
+    std::fs::write(&tampered, text.replace("\"seed\": 102", "\"seed\": 103")).unwrap();
+    let invalid = hotnoc()
+        .args(["campaign", "diff"])
+        .arg(fixture("CAMPAIGN_fix-a.json"))
+        .arg(&tampered)
+        .output()
+        .expect("spawn hotnoc");
+    assert_eq!(
+        invalid.status.code(),
+        Some(2),
+        "stderr: {}",
+        stderr(&invalid)
+    );
+
+    // Exit 2: bad input (missing file, usage error).
+    let missing = hotnoc()
+        .args(["campaign", "diff"])
+        .arg(fixture("CAMPAIGN_fix-a.json"))
+        .arg(dir.join("nope.json"))
+        .output()
+        .expect("spawn hotnoc");
+    assert_eq!(missing.status.code(), Some(2));
+    let one_arg = hotnoc()
+        .args(["campaign", "diff"])
+        .arg(fixture("CAMPAIGN_fix-a.json"))
+        .output()
+        .expect("spawn hotnoc");
+    assert_eq!(one_arg.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_or_unknown_schema_is_clean_bad_input_exit_2() {
+    // A document without a `schema` field (or with an unrecognized one)
+    // never was a campaign artifact: `check` and `diff` must report it
+    // cleanly with exit 2 — not exit 1 (a failed validation of a real
+    // artifact) and certainly not a panic.
+    let dir = tmp_dir("schema");
+    let text = std::fs::read_to_string(fixture("CAMPAIGN_fix-a.json")).unwrap();
+    let schemaless = dir.join("schemaless.json");
+    std::fs::write(
+        &schemaless,
+        text.replacen("\"schema\": \"hotnoc-campaign-v1\", ", "", 1),
+    )
+    .unwrap();
+    let unknown = dir.join("unknown.json");
+    std::fs::write(
+        &unknown,
+        text.replacen("hotnoc-campaign-v1", "hotnoc-campaign-v99", 1),
+    )
+    .unwrap();
+
+    for bad in [&schemaless, &unknown] {
+        let check = hotnoc()
+            .args(["campaign", "check"])
+            .arg(bad)
+            .output()
+            .expect("spawn hotnoc");
+        assert_eq!(
+            check.status.code(),
+            Some(2),
+            "check {}: stderr: {}",
+            bad.display(),
+            stderr(&check)
+        );
+        assert!(stderr(&check).contains("schema"), "{}", stderr(&check));
+        let diff = hotnoc()
+            .args(["campaign", "diff"])
+            .arg(fixture("CAMPAIGN_fix-a.json"))
+            .arg(bad)
+            .output()
+            .expect("spawn hotnoc");
+        assert_eq!(diff.status.code(), Some(2), "diff vs {}", bad.display());
+    }
+
+    // One bad-input file among valid ones dominates the exit code.
+    let mixed = hotnoc()
+        .args(["campaign", "check"])
+        .arg(fixture("CAMPAIGN_fix-a.json"))
+        .arg(&schemaless)
+        .output()
+        .expect("spawn hotnoc");
+    assert_eq!(mixed.status.code(), Some(2));
+    assert!(stdout(&mixed).contains("ok (campaign fix-a, 6 jobs)"));
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -194,6 +194,13 @@ impl NetworkStats {
         self.latency_histogram.merge(&delta.latency_histogram);
     }
 
+    /// Upper bound on the `q`-quantile packet latency (the bucket edge of
+    /// [`LatencyHistogram::quantile_upper_bound`]), or `None` before any
+    /// delivery. This is what latency-vs-load curves report as p50/p95.
+    pub fn latency_quantile_upper(&self, q: f64) -> Option<u64> {
+        self.latency_histogram.quantile_upper_bound(q)
+    }
+
     /// Delivered throughput in flits per cycle over `cycles`.
     pub fn throughput(&self, cycles: u64) -> f64 {
         if cycles == 0 {
@@ -368,6 +375,17 @@ mod tests {
         assert_eq!(a.flits_ejected, 4);
         assert_eq!(a.flit_hops, 7);
         assert_eq!(a.latency_histogram.count(), 3);
+    }
+
+    #[test]
+    fn stats_latency_quantile_delegates_to_the_histogram() {
+        let mut s = NetworkStats::default();
+        assert_eq!(s.latency_quantile_upper(0.5), None);
+        for lat in [1u64, 2, 2, 3, 100] {
+            s.latency_histogram.record(lat);
+        }
+        assert_eq!(s.latency_quantile_upper(0.5), Some(4));
+        assert_eq!(s.latency_quantile_upper(1.0), Some(128));
     }
 
     #[test]

@@ -31,6 +31,10 @@ pub const BUILTINS: &[(&str, &str)] = &[
         "Engineering sweep: configs A-E x schemes x 2 periods (50 jobs)",
     ),
     (
+        "latency-load",
+        "Latency-vs-load saturation curve: uniform traffic on config A across the offered-load axis",
+    ),
+    (
         "smoke",
         "Seconds-fast mixed campaign (quick ldpc + traffic) for CI",
     ),
@@ -68,6 +72,7 @@ pub fn builtin(name: &str, fidelity: Fidelity) -> Option<CampaignSpec> {
         policies: vec![PolicyAxis::Periodic],
         schemes: MigrationScheme::FIGURE1.to_vec(),
         periods: vec![default_period(fidelity)],
+        offered_loads: vec![],
         seeds: vec![0],
     };
     let spec = match name {
@@ -95,6 +100,29 @@ pub fn builtin(name: &str, fidelity: Fidelity) -> Option<CampaignSpec> {
                 Fidelity::Full => vec![1, 4],
                 Fidelity::Quick => vec![8, 32],
             },
+            ..base
+        },
+        "latency-load" => CampaignSpec {
+            configs: vec![ChipKind::Config(ChipConfigId::A)],
+            workloads: vec![Workload::Traffic {
+                pattern: TrafficPattern::UniformRandom,
+                // The rate is a placeholder: the offered-load axis replaces
+                // it per job.
+                rate: 0.05,
+                packet_len: 4,
+                cycles: match fidelity {
+                    Fidelity::Full => 2000,
+                    Fidelity::Quick => 300,
+                },
+            }],
+            policies: vec![PolicyAxis::Baseline],
+            schemes: vec![],
+            periods: vec![],
+            offered_loads: match fidelity {
+                Fidelity::Full => vec![0.02, 0.05, 0.08, 0.11, 0.14, 0.17, 0.2, 0.24],
+                Fidelity::Quick => vec![0.02, 0.06, 0.1, 0.14],
+            },
+            seeds: (0..4).collect(),
             ..base
         },
         "smoke" => CampaignSpec {
@@ -158,6 +186,23 @@ mod tests {
     fn fig1_covers_every_config_and_scheme() {
         let jobs = builtin("fig1", Fidelity::Full).unwrap().expand();
         assert_eq!(jobs.len(), 5 * 5);
+    }
+
+    #[test]
+    fn latency_load_sweeps_the_offered_load_axis() {
+        let spec = builtin("latency-load", Fidelity::Quick).unwrap();
+        let jobs = spec.expand();
+        assert_eq!(jobs.len(), spec.offered_loads.len() * spec.seeds.len());
+        // One group (seed axis collapsed) per operating point.
+        let loads: std::collections::BTreeSet<String> = jobs
+            .iter()
+            .map(|j| match &j.workload {
+                Workload::Traffic { rate, .. } => format!("{rate}"),
+                Workload::Ldpc => unreachable!("latency-load is traffic-only"),
+            })
+            .collect();
+        assert_eq!(loads.len(), spec.offered_loads.len());
+        assert!(jobs[0].name.contains("@l0.02"), "{}", jobs[0].name);
     }
 
     #[test]

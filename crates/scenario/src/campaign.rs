@@ -89,6 +89,12 @@ pub struct CampaignSpec {
     pub schemes: Vec<MigrationScheme>,
     /// Migration-period axis, in decoded blocks.
     pub periods: Vec<u64>,
+    /// Offered-load axis: every traffic workload re-runs once per listed
+    /// injection rate (packets per node per cycle), replacing the
+    /// workload's own `rate`. Empty = each traffic workload runs at its
+    /// own rate; LDPC workloads ignore the axis. This is what drives
+    /// latency-vs-load saturation curves through the campaign path.
+    pub offered_loads: Vec<f64>,
     /// Seed axis: every combination runs once per listed seed.
     pub seeds: Vec<u64>,
 }
@@ -149,6 +155,16 @@ impl CampaignSpec {
         if self.periods.contains(&0) {
             return Err("periods must be >= 1 block".into());
         }
+        for pair in self.offered_loads.windows(2) {
+            if pair[0] >= pair[1] {
+                return Err("offered_loads must be strictly increasing".into());
+            }
+        }
+        for &load in &self.offered_loads {
+            if !(load > 0.0 && load <= 1.0 && load.is_finite()) {
+                return Err(format!("offered load {load} outside (0, 1]"));
+            }
+        }
         if self.mode == Mode::PlanCost && !self.policies.contains(&PolicyAxis::Periodic) {
             return Err("plan-cost mode needs a periodic policy entry".into());
         }
@@ -162,47 +178,83 @@ impl CampaignSpec {
     }
 
     /// Expands the axes into the deterministic, stably-ordered job list.
-    /// Job index order is the nesting order chips → workloads → policies
-    /// (schemes → periods) → seeds.
+    /// Job index order is the nesting order chips → workloads (→ offered
+    /// loads) → policies (schemes → periods) → seeds.
     pub fn expand(&self) -> Vec<ScenarioSpec> {
         let mut jobs = Vec::new();
         for chip in &self.configs {
-            for (wi, workload) in self.workloads.iter().enumerate() {
-                let policies = self.policies_for(workload);
-                // LDPC runs are deterministic given the spec; re-running
-                // them per seed would duplicate identical jobs.
-                let seeds = if matches!(workload, Workload::Traffic { .. }) {
-                    &self.seeds[..]
-                } else {
-                    &self.seeds[..1]
-                };
-                for policy in policies {
-                    for &axis_seed in seeds {
-                        let index = jobs.len() as u64;
-                        jobs.push(ScenarioSpec {
-                            name: format!(
-                                "{}/w{wi}:{}/{}/s{axis_seed}",
-                                chip.label(),
-                                workload.label(),
-                                policy.label()
-                            ),
-                            chip: chip.clone(),
-                            workload: workload.clone(),
-                            policy: policy.clone(),
-                            mode: if matches!(workload, Workload::Traffic { .. }) {
-                                Mode::Cosim
-                            } else {
-                                self.mode
-                            },
-                            fidelity: self.fidelity,
-                            sim_time_ms: self.sim_time_ms,
-                            seed: derive_job_seed(self.seed, axis_seed, index),
-                        });
+            for (wi, axis_workload) in self.workloads.iter().enumerate() {
+                for (workload, load) in self.workload_variants(axis_workload) {
+                    let policies = self.policies_for(&workload);
+                    // LDPC runs are deterministic given the spec;
+                    // re-running them per seed would duplicate identical
+                    // jobs.
+                    let seeds = if matches!(workload, Workload::Traffic { .. }) {
+                        &self.seeds[..]
+                    } else {
+                        &self.seeds[..1]
+                    };
+                    // The load tag keeps job names unique across the
+                    // offered-load axis (canonical shortest-roundtrip
+                    // float formatting, like the spec JSON).
+                    let load_tag = load.map(|l| format!("@l{l}")).unwrap_or_default();
+                    for policy in policies {
+                        for &axis_seed in seeds {
+                            let index = jobs.len() as u64;
+                            jobs.push(ScenarioSpec {
+                                name: format!(
+                                    "{}/w{wi}:{}{load_tag}/{}/s{axis_seed}",
+                                    chip.label(),
+                                    workload.label(),
+                                    policy.label()
+                                ),
+                                chip: chip.clone(),
+                                workload: workload.clone(),
+                                policy: policy.clone(),
+                                mode: if matches!(workload, Workload::Traffic { .. }) {
+                                    Mode::Cosim
+                                } else {
+                                    self.mode
+                                },
+                                fidelity: self.fidelity,
+                                sim_time_ms: self.sim_time_ms,
+                                seed: derive_job_seed(self.seed, axis_seed, index),
+                            });
+                        }
                     }
                 }
             }
         }
         jobs
+    }
+
+    /// The concrete workloads one axis entry expands to: traffic workloads
+    /// fan out across the offered-load axis (their own rate replaced by
+    /// each listed load), everything else passes through unchanged.
+    fn workload_variants(&self, workload: &Workload) -> Vec<(Workload, Option<f64>)> {
+        match workload {
+            Workload::Traffic {
+                pattern,
+                packet_len,
+                cycles,
+                ..
+            } if !self.offered_loads.is_empty() => self
+                .offered_loads
+                .iter()
+                .map(|&load| {
+                    (
+                        Workload::Traffic {
+                            pattern: pattern.clone(),
+                            rate: load,
+                            packet_len: *packet_len,
+                            cycles: *cycles,
+                        },
+                        Some(load),
+                    )
+                })
+                .collect(),
+            w => vec![(w.clone(), None)],
+        }
     }
 
     /// The concrete policies one workload expands to (see the module docs
@@ -296,6 +348,14 @@ impl CampaignSpec {
             "periods",
             Json::Array(self.periods.iter().map(|&p| Json::int(p)).collect()),
         ));
+        if !self.offered_loads.is_empty() {
+            // Emitted only when used, so campaigns that predate the axis
+            // keep their canonical JSON (and fingerprint) unchanged.
+            fields.push((
+                "offered_loads",
+                Json::Array(self.offered_loads.iter().map(|&l| Json::Num(l)).collect()),
+            ));
+        }
         fields.push((
             "seeds",
             Json::Array(self.seeds.iter().map(|&s| Json::int(s)).collect()),
@@ -362,6 +422,10 @@ impl CampaignSpec {
             periods: list("periods")?
                 .iter()
                 .map(|p| p.as_u64().ok_or("period is not a non-negative integer"))
+                .collect::<Result<_, _>>()?,
+            offered_loads: list("offered_loads")?
+                .iter()
+                .map(|l| l.as_f64().ok_or("offered load is not a finite number"))
                 .collect::<Result<_, _>>()?,
             seeds: j
                 .req_array("seeds")?
@@ -434,6 +498,7 @@ mod tests {
             policies: vec![PolicyAxis::Periodic],
             schemes: MigrationScheme::FIGURE1.to_vec(),
             periods: vec![8, 32],
+            offered_loads: vec![],
             seeds: vec![0],
         }
     }
@@ -480,6 +545,71 @@ mod tests {
             .iter()
             .filter(|jb| matches!(jb.workload, Workload::Ldpc))
             .all(|jb| jb.name.ends_with("/s1")));
+    }
+
+    #[test]
+    fn offered_loads_fan_out_traffic_workloads_only() {
+        let mut spec = sweep();
+        spec.workloads.push(Workload::Traffic {
+            pattern: TrafficPattern::UniformRandom,
+            rate: 0.05,
+            packet_len: 4,
+            cycles: 100,
+        });
+        spec.seeds = vec![1, 2];
+        spec.offered_loads = vec![0.02, 0.1];
+        let jobs = spec.expand();
+        // ldpc: 5 schemes x 2 periods (seed axis collapsed, load axis
+        // ignored); traffic: 2 loads x 2 seeds.
+        assert_eq!(jobs.len(), 5 * (5 * 2 + 2 * 2));
+        let traffic: Vec<_> = jobs
+            .iter()
+            .filter(|jb| matches!(jb.workload, Workload::Traffic { .. }))
+            .collect();
+        assert_eq!(traffic.len(), 5 * 4);
+        // Each traffic job runs at its axis load, tagged in the name.
+        assert!(traffic
+            .iter()
+            .all(|jb| matches!(jb.workload, Workload::Traffic { rate, .. }
+                if rate == 0.02 || rate == 0.1)));
+        assert_eq!(traffic[0].name, "A/w1:traffic:uniform@l0.02/baseline/s1");
+        assert_eq!(traffic[2].name, "A/w1:traffic:uniform@l0.1/baseline/s1");
+        // Expansion stays a pure function and the spec round-trips.
+        assert_eq!(spec.expand(), jobs);
+        let back = CampaignSpec::parse(&spec.to_json().to_string()).expect("parses");
+        assert_eq!(back, spec);
+        assert_eq!(back.fingerprint(), spec.fingerprint());
+    }
+
+    #[test]
+    fn offered_loads_field_is_absent_when_unused() {
+        // Campaigns that predate the axis must keep their canonical JSON
+        // (and fingerprint) byte-for-byte.
+        let text = sweep().to_json().to_string();
+        assert!(!text.contains("offered_loads"), "{text}");
+    }
+
+    #[test]
+    fn offered_loads_validation() {
+        let mut bad = sweep();
+        bad.offered_loads = vec![0.1, 0.1];
+        assert!(bad.validate().is_err(), "duplicate loads");
+
+        let mut bad = sweep();
+        bad.offered_loads = vec![0.2, 0.1];
+        assert!(bad.validate().is_err(), "decreasing loads");
+
+        let mut bad = sweep();
+        bad.offered_loads = vec![0.0];
+        assert!(bad.validate().is_err(), "zero load");
+
+        let mut bad = sweep();
+        bad.offered_loads = vec![1.5];
+        assert!(bad.validate().is_err(), "load above 1");
+
+        let mut ok = sweep();
+        ok.offered_loads = vec![0.05, 0.1, 0.2];
+        ok.validate().expect("sorted unique loads in (0, 1]");
     }
 
     #[test]

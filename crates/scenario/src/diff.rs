@@ -1,0 +1,429 @@
+//! A/B comparison of two campaign artifacts — the `hotnoc campaign diff`
+//! engine.
+//!
+//! Two campaigns are aligned by **group key** (the job name minus the seed
+//! axis, see [`crate::stats::GroupKey`]), so runs of the same spec under
+//! different seed sets — or under edited seed axes — still pair up. Each
+//! paired group is compared on its outcome kind's headline metric:
+//!
+//! * **ratio of medians** — B's median over A's, oriented so a value above
+//!   1 always means "B is worse" regardless of whether the metric is
+//!   lower-is-better (latency, peak temperature) or higher-is-better
+//!   (reduction);
+//! * a **CI-overlap verdict** — `equal` when the medians coincide,
+//!   `better` / `worse` when both sides have n >= 2 and their 95%
+//!   confidence intervals are disjoint, `inconclusive` otherwise. Two runs
+//!   of the same spec under different seeds draw from the same
+//!   distribution, so their intervals overlap and every group reports
+//!   inconclusive-or-equal.
+//!
+//! The regression gate reuses the median-of-ratios discipline proven in
+//! `bench_regress`: the campaign-level verdict is the **median over
+//! groups** of the oriented ratios, so one noisy group cannot fail a gate
+//! but a broad slowdown will.
+
+use crate::runner::CampaignDoc;
+use crate::stats::{
+    aggregate, headline_metric, metric_direction, Direction, GroupAggregate, GroupKey,
+};
+use std::fmt::Write as _;
+
+/// The outcome of comparing one group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The medians coincide exactly.
+    Equal,
+    /// B is significantly better (disjoint 95% CIs, B on the good side).
+    Better,
+    /// B is significantly worse (disjoint 95% CIs, B on the bad side).
+    Worse,
+    /// Overlapping CIs, or too few samples to resolve a direction.
+    Inconclusive,
+}
+
+impl Verdict {
+    fn name(self) -> &'static str {
+        match self {
+            Verdict::Equal => "equal",
+            Verdict::Better => "better",
+            Verdict::Worse => "worse",
+            Verdict::Inconclusive => "inconclusive",
+        }
+    }
+}
+
+/// One aligned group's comparison.
+#[derive(Debug, Clone)]
+pub struct GroupDiff {
+    /// The group both campaigns contain.
+    pub key: GroupKey,
+    /// Outcome kind of the group.
+    pub kind: &'static str,
+    /// The headline metric compared.
+    pub metric: &'static str,
+    /// Seed-axis sample count in A.
+    pub n_a: u64,
+    /// Seed-axis sample count in B.
+    pub n_b: u64,
+    /// Median of the metric in A.
+    pub median_a: f64,
+    /// Median of the metric in B.
+    pub median_b: f64,
+    /// Oriented worsening ratio: > 1 means B is worse than A, whatever the
+    /// metric's preferred direction.
+    pub ratio: f64,
+    /// The CI-overlap verdict.
+    pub verdict: Verdict,
+}
+
+/// The full A-vs-B comparison.
+#[derive(Debug)]
+pub struct DiffReport {
+    /// Name of campaign A.
+    pub name_a: String,
+    /// Name of campaign B.
+    pub name_b: String,
+    /// Job count of campaign A.
+    pub jobs_a: usize,
+    /// Job count of campaign B.
+    pub jobs_b: usize,
+    /// Aligned groups in A's first-appearance order.
+    pub groups: Vec<GroupDiff>,
+    /// Groups only campaign A contains.
+    pub only_in_a: Vec<GroupKey>,
+    /// Groups only campaign B contains.
+    pub only_in_b: Vec<GroupKey>,
+    /// Aligned groups whose outcome kinds differ (incomparable).
+    pub kind_mismatch: Vec<GroupKey>,
+    /// Regression threshold in percent (a gate fails when the median
+    /// worsening ratio exceeds `1 + threshold_pct / 100`).
+    pub threshold_pct: f64,
+}
+
+impl DiffReport {
+    /// Median of the oriented worsening ratios over all aligned groups, or
+    /// `None` when no groups aligned.
+    pub fn median_ratio(&self) -> Option<f64> {
+        if self.groups.is_empty() {
+            return None;
+        }
+        let mut ratios: Vec<f64> = self.groups.iter().map(|g| g.ratio).collect();
+        ratios.sort_by(f64::total_cmp);
+        let n = ratios.len();
+        Some(if n % 2 == 1 {
+            ratios[n / 2]
+        } else {
+            (ratios[n / 2 - 1] + ratios[n / 2]) / 2.0
+        })
+    }
+
+    /// `true` when the median worsening ratio exceeds the threshold — the
+    /// condition `--fail-on-regression` turns into exit code 1.
+    pub fn regressed(&self) -> bool {
+        self.median_ratio()
+            .is_some_and(|m| m > 1.0 + self.threshold_pct / 100.0)
+    }
+
+    /// Renders the deterministic, byte-stable text report (the golden CLI
+    /// test pins it).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "campaign diff: A = {} ({} jobs) vs B = {} ({} jobs)",
+            self.name_a, self.jobs_a, self.name_b, self.jobs_b
+        );
+        let key_w = self
+            .groups
+            .iter()
+            .map(|g| g.key.as_str().len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        let metric_w = self
+            .groups
+            .iter()
+            .map(|g| g.metric.len())
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        let _ = writeln!(
+            s,
+            "{:<key_w$}  {:>4} {:>4}  {:<metric_w$}  {:>12} -> {:>12}  {:>7}  verdict",
+            "group", "n(A)", "n(B)", "metric", "median A", "median B", "ratio"
+        );
+        for g in &self.groups {
+            let _ = writeln!(
+                s,
+                "{:<key_w$}  {:>4} {:>4}  {:<metric_w$}  {:>12.4} -> {:>12.4}  {:>7.3}  {}",
+                g.key.as_str(),
+                g.n_a,
+                g.n_b,
+                g.metric,
+                g.median_a,
+                g.median_b,
+                g.ratio,
+                g.verdict.name()
+            );
+        }
+        for (label, keys) in [
+            ("only in A", &self.only_in_a),
+            ("only in B", &self.only_in_b),
+            ("kind mismatch (not compared)", &self.kind_mismatch),
+        ] {
+            for key in keys {
+                let _ = writeln!(s, "{label}: {key}");
+            }
+        }
+        match self.median_ratio() {
+            None => {
+                let _ = writeln!(s, "no common groups to compare");
+            }
+            Some(med) => {
+                let limit = 1.0 + self.threshold_pct / 100.0;
+                let _ = writeln!(
+                    s,
+                    "median worsening ratio over {} group(s): {med:.3} (regression threshold {limit:.3})",
+                    self.groups.len()
+                );
+                let _ = writeln!(
+                    s,
+                    "verdict: {}",
+                    if self.regressed() { "REGRESSED" } else { "ok" }
+                );
+            }
+        }
+        s
+    }
+}
+
+/// The oriented worsening ratio of one pair of medians: above 1 means `b`
+/// is worse. Equal medians (including 0/0) are exactly 1.
+fn worsening_ratio(median_a: f64, median_b: f64, direction: Direction) -> f64 {
+    if median_a == median_b {
+        return 1.0;
+    }
+    let (good, bad) = match direction {
+        Direction::LowerIsBetter => (median_a, median_b),
+        Direction::HigherIsBetter => (median_b, median_a),
+    };
+    bad / good.max(f64::MIN_POSITIVE)
+}
+
+/// Compares one aligned pair of group aggregates.
+fn diff_group(a: &GroupAggregate, b: &GroupAggregate) -> GroupDiff {
+    let metric = headline_metric(a.kind);
+    let direction = metric_direction(metric);
+    let (sa, sb) = (
+        a.metric(metric).cloned().unwrap_or_default(),
+        b.metric(metric).cloned().unwrap_or_default(),
+    );
+    let median_a = sa.median().unwrap_or(0.0);
+    let median_b = sb.median().unwrap_or(0.0);
+    let ratio = worsening_ratio(median_a, median_b, direction);
+    let verdict = if median_a == median_b {
+        Verdict::Equal
+    } else {
+        match (sa.ci95(), sb.ci95()) {
+            (Some((lo_a, hi_a)), Some((lo_b, hi_b))) if hi_a < lo_b || hi_b < lo_a => {
+                // Disjoint intervals: the sign of the difference decides.
+                let b_is_better = match direction {
+                    Direction::LowerIsBetter => hi_b < lo_a,
+                    Direction::HigherIsBetter => lo_b > hi_a,
+                };
+                if b_is_better {
+                    Verdict::Better
+                } else {
+                    Verdict::Worse
+                }
+            }
+            _ => Verdict::Inconclusive,
+        }
+    };
+    GroupDiff {
+        key: a.key.clone(),
+        kind: a.kind,
+        metric,
+        n_a: a.n,
+        n_b: b.n,
+        median_a,
+        median_b,
+        ratio,
+        verdict,
+    }
+}
+
+/// Diffs two parsed campaign artifacts (B against the A baseline), pairing
+/// groups by key across the seed axis.
+pub fn diff_campaigns(a: &CampaignDoc, b: &CampaignDoc, threshold_pct: f64) -> DiffReport {
+    let agg_a = aggregate(&a.records);
+    let agg_b = aggregate(&b.records);
+    let mut report = DiffReport {
+        name_a: a.spec.name.clone(),
+        name_b: b.spec.name.clone(),
+        jobs_a: a.records.len(),
+        jobs_b: b.records.len(),
+        groups: Vec::new(),
+        only_in_a: Vec::new(),
+        only_in_b: Vec::new(),
+        kind_mismatch: Vec::new(),
+        threshold_pct,
+    };
+    for ga in &agg_a {
+        match agg_b.iter().find(|gb| gb.key == ga.key) {
+            None => report.only_in_a.push(ga.key.clone()),
+            Some(gb) if gb.kind != ga.kind => report.kind_mismatch.push(ga.key.clone()),
+            Some(gb) => report.groups.push(diff_group(ga, gb)),
+        }
+    }
+    for gb in &agg_b {
+        if !agg_a.iter().any(|ga| ga.key == gb.key) {
+            report.only_in_b.push(gb.key.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{CampaignSpec, PolicyAxis};
+    use crate::runner::{campaign_json, parse_campaign_document, run_campaign, RunnerOptions};
+    use crate::spec::{ChipKind, Mode, Workload};
+    use hotnoc_core::configs::{ChipConfigId, Fidelity};
+    use hotnoc_noc::TrafficPattern;
+
+    fn traffic_campaign(name: &str, seeds: Vec<u64>) -> CampaignSpec {
+        CampaignSpec {
+            name: name.to_string(),
+            seed: 33,
+            fidelity: Fidelity::Quick,
+            mode: Mode::Cosim,
+            sim_time_ms: None,
+            configs: vec![ChipKind::Config(ChipConfigId::A)],
+            workloads: vec![
+                Workload::Traffic {
+                    pattern: TrafficPattern::UniformRandom,
+                    rate: 0.06,
+                    packet_len: 3,
+                    cycles: 250,
+                },
+                Workload::Traffic {
+                    pattern: TrafficPattern::Transpose,
+                    rate: 0.05,
+                    packet_len: 3,
+                    cycles: 250,
+                },
+            ],
+            policies: vec![PolicyAxis::Baseline],
+            schemes: vec![],
+            periods: vec![],
+            offered_loads: vec![],
+            seeds,
+        }
+    }
+
+    fn run_to_doc(spec: &CampaignSpec, tag: &str) -> CampaignDoc {
+        let dir = std::env::temp_dir().join(format!("hotnoc-diff-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let run = run_campaign(
+            spec,
+            &RunnerOptions {
+                threads: 2,
+                out_dir: dir.clone(),
+                ..RunnerOptions::default()
+            },
+        )
+        .expect("campaign runs");
+        let text = std::fs::read_to_string(run.json_path.as_ref().expect("complete")).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        parse_campaign_document(&text).expect("validates")
+    }
+
+    #[test]
+    fn self_diff_is_all_equal_with_unit_ratio() {
+        let doc = run_to_doc(&traffic_campaign("diff-self", vec![1, 2, 3]), "self");
+        let report = diff_campaigns(&doc, &doc, 15.0);
+        assert_eq!(report.groups.len(), 2);
+        assert!(report
+            .groups
+            .iter()
+            .all(|g| g.verdict == Verdict::Equal && g.ratio == 1.0));
+        assert_eq!(report.median_ratio(), Some(1.0));
+        assert!(!report.regressed());
+        assert!(report.only_in_a.is_empty() && report.only_in_b.is_empty());
+    }
+
+    #[test]
+    fn different_seed_sets_stay_inconclusive_or_equal() {
+        // The acceptance criterion: same spec, disjoint seed sets — every
+        // group must align by key and no group may claim significance.
+        let a = run_to_doc(&traffic_campaign("diff-sa", vec![1, 2, 3, 4]), "sa");
+        let b = run_to_doc(&traffic_campaign("diff-sb", vec![11, 12, 13, 14]), "sb");
+        let report = diff_campaigns(&a, &b, 15.0);
+        assert_eq!(report.groups.len(), 2, "groups must align across seeds");
+        for g in &report.groups {
+            assert!(
+                matches!(g.verdict, Verdict::Equal | Verdict::Inconclusive),
+                "group {} claimed {:?} from same-distribution runs",
+                g.key,
+                g.verdict
+            );
+        }
+        assert!(!report.regressed());
+    }
+
+    #[test]
+    fn doctored_slowdown_regresses_and_disjoint_groups_are_reported() {
+        let a = run_to_doc(&traffic_campaign("diff-da", vec![1, 2, 3]), "da");
+        // Synthetic 30% latency inflation on every record of B.
+        let mut b = run_to_doc(&traffic_campaign("diff-da", vec![1, 2, 3]), "db");
+        for rec in &mut b.records {
+            if let crate::ScenarioOutcome::Traffic(m) = &mut rec.outcome {
+                m.mean_latency_cycles *= 1.3;
+            }
+        }
+        // Round-trip through the artifact writer so the doctored document
+        // is exactly what a tampered file would parse to.
+        let doc = parse_campaign_document(&campaign_json(&b.spec, &b.records)).expect("parses");
+        let report = diff_campaigns(&a, &doc, 15.0);
+        assert!(report.regressed(), "30% slowdown must trip a 15% gate");
+        assert!(report.median_ratio().unwrap() > 1.25);
+        assert!(!diff_campaigns(&a, &doc, 50.0).regressed());
+
+        // An extra group on one side is reported, not silently dropped.
+        let mut extra = traffic_campaign("diff-extra", vec![1, 2, 3]);
+        extra.workloads.push(Workload::Traffic {
+            pattern: TrafficPattern::Tornado,
+            rate: 0.05,
+            packet_len: 3,
+            cycles: 250,
+        });
+        let c = run_to_doc(&extra, "dc");
+        let report = diff_campaigns(&a, &c, 15.0);
+        assert_eq!(report.groups.len(), 2);
+        assert_eq!(report.only_in_b.len(), 1);
+        let rendered = report.render();
+        assert!(rendered.contains("only in B"), "{rendered}");
+    }
+
+    #[test]
+    fn worsening_ratio_orientation() {
+        // Lower-is-better: B larger = worse.
+        assert!(worsening_ratio(10.0, 13.0, Direction::LowerIsBetter) > 1.2);
+        assert!(worsening_ratio(13.0, 10.0, Direction::LowerIsBetter) < 1.0);
+        // Higher-is-better: B smaller = worse.
+        assert!(worsening_ratio(10.0, 8.0, Direction::HigherIsBetter) > 1.2);
+        // Equal (including zero/zero) is exactly 1.
+        assert_eq!(worsening_ratio(0.0, 0.0, Direction::LowerIsBetter), 1.0);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let doc = run_to_doc(&traffic_campaign("diff-render", vec![5, 6]), "render");
+        let r1 = diff_campaigns(&doc, &doc, 15.0).render();
+        let r2 = diff_campaigns(&doc, &doc, 15.0).render();
+        assert_eq!(r1, r2);
+        assert!(r1.contains("verdict: ok"), "{r1}");
+    }
+}

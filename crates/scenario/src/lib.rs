@@ -18,9 +18,17 @@
 //!   and emits a `CAMPAIGN_<name>.json` artifact that is **byte-identical
 //!   at any thread count** plus a human summary table.
 //! * [`builtin`] names the paper's exhibits (Figure 1, the period sweep,
-//!   migration cost, adaptive comparison) as ready-made campaigns;
-//!   [`exhibits`] projects campaign results back onto the legacy report
-//!   tables.
+//!   migration cost, adaptive comparison, the latency-vs-load saturation
+//!   curve) as ready-made campaigns; [`exhibits`] projects campaign
+//!   results back onto the legacy report tables (and renders the
+//!   latency-load curve).
+//! * [`stats`] collapses records across the seed axis into per-group
+//!   summary statistics (mean / std-dev / min / max / median / p95 /
+//!   t-based 95% CI) and serializes them as the
+//!   `CAMPAIGN_<name>.aggregate.json` artifact
+//!   (`hotnoc-campaign-aggregate-v1`); [`diff`] aligns two campaign
+//!   artifacts by group and reports ratio-of-medians with CI-overlap
+//!   verdicts — the `hotnoc campaign diff` A/B engine.
 //!
 //! The `hotnoc` CLI (`crates/cli`) fronts all of this from the shell.
 //!
@@ -51,6 +59,7 @@
 
 pub mod builtin;
 pub mod campaign;
+pub mod diff;
 pub mod error;
 pub mod exhibits;
 pub mod json;
@@ -58,10 +67,13 @@ pub mod outcome;
 pub mod run;
 pub mod runner;
 pub mod spec;
+pub mod stats;
 
 pub use campaign::{CampaignSpec, PolicyAxis};
+pub use diff::{diff_campaigns, DiffReport, Verdict};
 pub use error::ScenarioError;
 pub use outcome::ScenarioOutcome;
 pub use run::run_scenario;
 pub use runner::{run_campaign, CampaignRun, JobRecord, RunnerOptions};
 pub use spec::{ChipKind, Mode, Policy, ScenarioSpec, Workload};
+pub use stats::{GroupAggregate, GroupKey, SummaryStats};

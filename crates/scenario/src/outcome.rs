@@ -120,10 +120,27 @@ pub struct TrafficMetrics {
     pub drained: bool,
     /// Mean packet latency in cycles (0 when nothing was delivered).
     pub mean_latency_cycles: f64,
+    /// Upper bound on the median packet latency (histogram bucket edge; 0
+    /// when nothing was delivered).
+    pub p50_latency_cycles: u64,
+    /// Upper bound on the 95th-percentile packet latency (histogram bucket
+    /// edge; 0 when nothing was delivered).
+    pub p95_latency_cycles: u64,
     /// Maximum packet latency in cycles.
     pub max_latency_cycles: u64,
     /// Total flit-hops.
     pub flit_hops: u64,
+}
+
+/// An optional non-negative integer field: absent defaults to 0, but a
+/// present field of the wrong type is still an error.
+fn opt_u64(j: &Json, key: &str) -> Result<u64, String> {
+    match j.get(key) {
+        None => Ok(0),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| format!("field {key:?} is not a non-negative integer")),
+    }
 }
 
 /// The result of one scenario run.
@@ -140,6 +157,17 @@ pub enum ScenarioOutcome {
 }
 
 impl ScenarioOutcome {
+    /// The outcome's `kind` tag (`"cosim"` / `"adaptive"` / `"plan-cost"`
+    /// / `"traffic"`), as serialized to JSON.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ScenarioOutcome::Cosim(_) => "cosim",
+            ScenarioOutcome::Adaptive(_) => "adaptive",
+            ScenarioOutcome::PlanCost(_) => "plan-cost",
+            ScenarioOutcome::Traffic(_) => "traffic",
+        }
+    }
+
     /// Serializes to canonical JSON with a `kind` tag.
     pub fn to_json(&self) -> Json {
         match self {
@@ -187,6 +215,8 @@ impl ScenarioOutcome {
                 ("delivered", Json::int(m.delivered)),
                 ("drained", Json::Bool(m.drained)),
                 ("mean_latency_cycles", Json::Num(m.mean_latency_cycles)),
+                ("p50_latency_cycles", Json::int(m.p50_latency_cycles)),
+                ("p95_latency_cycles", Json::int(m.p95_latency_cycles)),
                 ("max_latency_cycles", Json::int(m.max_latency_cycles)),
                 ("flit_hops", Json::int(m.flit_hops)),
             ]),
@@ -236,6 +266,11 @@ impl ScenarioOutcome {
                 delivered: j.req_u64("delivered")?,
                 drained: j.req("drained")?.as_bool().ok_or("drained is not a bool")?,
                 mean_latency_cycles: j.req_f64("mean_latency_cycles")?,
+                // Optional with a 0 default: traffic outcomes archived
+                // before the analytics layer (same `hotnoc-campaign-v1`
+                // tag) predate the quantile fields and must keep parsing.
+                p50_latency_cycles: opt_u64(j, "p50_latency_cycles")?,
+                p95_latency_cycles: opt_u64(j, "p95_latency_cycles")?,
                 max_latency_cycles: j.req_u64("max_latency_cycles")?,
                 flit_hops: j.req_u64("flit_hops")?,
             })),
@@ -265,8 +300,13 @@ impl ScenarioOutcome {
                 m.phases, m.stall_us, m.flit_hops, m.energy_uj, m.moves
             ),
             ScenarioOutcome::Traffic(m) => format!(
-                "delivered {}/{}  mean latency {:.1} cyc  max {}  drained {}",
-                m.delivered, m.offered, m.mean_latency_cycles, m.max_latency_cycles, m.drained
+                "delivered {}/{}  mean latency {:.1} cyc  p95 <{}  max {}  drained {}",
+                m.delivered,
+                m.offered,
+                m.mean_latency_cycles,
+                m.p95_latency_cycles,
+                m.max_latency_cycles,
+                m.drained
             ),
         }
     }
@@ -310,6 +350,8 @@ mod tests {
                 delivered: 812,
                 drained: true,
                 mean_latency_cycles: 13.71,
+                p50_latency_cycles: 16,
+                p95_latency_cycles: 32,
                 max_latency_cycles: 44,
                 flit_hops: 9000,
             }),
@@ -325,6 +367,29 @@ mod tests {
             assert_eq!(back, o);
             assert_eq!(back.to_json().to_string(), text, "byte-stable reencode");
         }
+    }
+
+    #[test]
+    fn pre_analytics_traffic_outcomes_still_decode() {
+        // Traffic outcomes journaled before the quantile fields existed
+        // (same hotnoc-campaign-v1 tag) must keep parsing, with the
+        // missing percentiles defaulting to 0.
+        let legacy = r#"{"kind": "traffic", "offered": 10, "delivered": 10, "drained": true,
+                         "mean_latency_cycles": 5.5, "max_latency_cycles": 9, "flit_hops": 40}"#;
+        let back = ScenarioOutcome::from_json(&Json::parse(legacy).expect("parses"))
+            .expect("legacy outcome decodes");
+        let ScenarioOutcome::Traffic(m) = &back else {
+            panic!("expected traffic outcome");
+        };
+        assert_eq!(m.p50_latency_cycles, 0);
+        assert_eq!(m.p95_latency_cycles, 0);
+        assert_eq!(m.max_latency_cycles, 9);
+        // A present-but-mistyped field is still rejected.
+        let bad = legacy.replace(
+            "\"drained\": true,",
+            "\"drained\": true, \"p95_latency_cycles\": \"x\",",
+        );
+        assert!(ScenarioOutcome::from_json(&Json::parse(&bad).expect("parses")).is_err());
     }
 
     #[test]

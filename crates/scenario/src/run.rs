@@ -176,6 +176,8 @@ fn run_traffic(
         delivered: stats.packets_delivered,
         drained,
         mean_latency_cycles: stats.mean_latency().unwrap_or(0.0),
+        p50_latency_cycles: stats.latency_quantile_upper(0.5).unwrap_or(0),
+        p95_latency_cycles: stats.latency_quantile_upper(0.95).unwrap_or(0),
         max_latency_cycles: stats.max_packet_latency,
         flit_hops: stats.flit_hops,
     }))

@@ -32,6 +32,7 @@ use crate::json::Json;
 use crate::outcome::ScenarioOutcome;
 use crate::run::run_scenario;
 use crate::spec::ScenarioSpec;
+use crate::stats::{aggregate, aggregate_json, headline_metric};
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -103,6 +104,14 @@ pub struct CampaignRun {
     /// Path of the emitted `CAMPAIGN_<name>.json`; `None` while the
     /// campaign is still partial.
     pub json_path: Option<PathBuf>,
+    /// Path of the emitted `CAMPAIGN_<name>.aggregate.json` (seed-axis
+    /// statistics, `hotnoc-campaign-aggregate-v1`); `None` while the
+    /// campaign is still partial.
+    pub aggregate_path: Option<PathBuf>,
+    /// Seed-axis group aggregates over `completed`, in first-appearance
+    /// order (computed once; the summary table and the aggregate artifact
+    /// both read from here).
+    pub groups: Vec<crate::stats::GroupAggregate>,
 }
 
 impl CampaignRun {
@@ -131,15 +140,20 @@ pub fn run_campaign(
         .out_dir
         .join(format!("CAMPAIGN_{}.manifest.jsonl", spec.name));
     let json_path = opts.out_dir.join(format!("CAMPAIGN_{}.json", spec.name));
+    let aggregate_path = opts
+        .out_dir
+        .join(format!("CAMPAIGN_{}.aggregate.json", spec.name));
 
     // Any pre-existing artifact is unproven from here on: the spec may have
     // changed under the same name, and this run may stop partway. Remove it
     // now and re-emit on completion, so artifact presence reliably signals
     // "this campaign, complete".
-    match std::fs::remove_file(&json_path) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-        Err(e) => return Err(ScenarioError::io(&json_path, e)),
+    for stale in [&json_path, &aggregate_path] {
+        match std::fs::remove_file(stale) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(ScenarioError::io(stale, e)),
+        }
     }
 
     // Recover completed jobs from a matching manifest.
@@ -267,6 +281,7 @@ pub fn run_campaign(
         })
         .collect();
 
+    let groups = aggregate(&completed);
     let mut run = CampaignRun {
         spec: spec.clone(),
         completed,
@@ -275,11 +290,16 @@ pub fn run_campaign(
         executed_jobs,
         manifest_path,
         json_path: None,
+        aggregate_path: None,
+        groups,
     };
     if run.is_complete() {
         std::fs::write(&json_path, campaign_json(spec, &run.completed))
             .map_err(|e| ScenarioError::io(&json_path, e))?;
         run.json_path = Some(json_path);
+        std::fs::write(&aggregate_path, aggregate_json(spec, &run.groups))
+            .map_err(|e| ScenarioError::io(&aggregate_path, e))?;
+        run.aggregate_path = Some(aggregate_path);
     }
     Ok(run)
 }
@@ -328,12 +348,21 @@ fn read_manifest(path: &Path, fingerprint: &str, jobs: &[ScenarioSpec]) -> Recov
         {
             continue;
         }
-        let Some(outcome) = j
-            .get("outcome")
-            .and_then(|o| ScenarioOutcome::from_json(o).ok())
-        else {
+        let Some(raw) = j.get("outcome") else {
             continue;
         };
+        let Ok(outcome) = ScenarioOutcome::from_json(raw) else {
+            continue;
+        };
+        // Recover only records that re-serialize to exactly what was
+        // journaled. A record written by an older binary may decode
+        // leniently (e.g. traffic quantile fields defaulting to 0), and
+        // silently resuming it would break the "resumed artifact ==
+        // uninterrupted artifact" byte-identity guarantee — recompute the
+        // job instead.
+        if outcome.to_json() != *raw {
+            continue;
+        }
         out.outcomes.insert(index, outcome);
     }
     out
@@ -389,7 +418,17 @@ pub struct CampaignDoc {
 ///
 /// Returns a human-readable description of the first violation.
 pub fn parse_campaign_document(text: &str) -> Result<CampaignDoc, String> {
-    let j = Json::parse(text)?;
+    validate_campaign_json(&Json::parse(text)?)
+}
+
+/// [`parse_campaign_document`] over an already-parsed document (callers
+/// that sniffed the JSON first — like the CLI's input classification —
+/// avoid a second parse).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate_campaign_json(j: &Json) -> Result<CampaignDoc, String> {
     let schema = j.req_str("schema")?;
     if schema != CAMPAIGN_SCHEMA {
         return Err(format!(
@@ -482,6 +521,37 @@ pub fn summary_table(run: &CampaignRun) -> String {
             run.total_jobs - run.completed.len()
         ));
     }
+    let groups = &run.groups;
+    if !groups.is_empty() {
+        s.push_str("\ngroups (seed-axis aggregates of the headline metric):\n");
+        let key_w = groups
+            .iter()
+            .map(|g| g.key.as_str().len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        s.push_str(&format!("{:<key_w$}  {:>3}  headline\n", "group", "n"));
+        for g in groups {
+            let metric = headline_metric(g.kind);
+            let line = match g.headline() {
+                None => "(no samples)".to_string(),
+                Some(stat) => {
+                    let mean = stat.mean().expect("non-empty group");
+                    let ci = match stat.ci95_half_width() {
+                        Some(hw) => format!(" ± {hw:.4}"),
+                        None => String::new(),
+                    };
+                    format!(
+                        "{metric} mean {mean:.4}{ci}  median {:.4}  [{:.4}, {:.4}]",
+                        stat.median().expect("non-empty group"),
+                        stat.min().expect("non-empty group"),
+                        stat.max().expect("non-empty group"),
+                    )
+                }
+            };
+            s.push_str(&format!("{:<key_w$}  {:>3}  {line}\n", g.key.as_str(), g.n));
+        }
+    }
     s
 }
 
@@ -518,6 +588,7 @@ mod tests {
             policies: vec![PolicyAxis::Baseline],
             schemes: vec![],
             periods: vec![],
+            offered_loads: vec![],
             seeds: vec![1, 2, 3],
         }
     }
@@ -648,6 +719,68 @@ mod tests {
         );
         assert!(third.is_complete());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lossy_legacy_manifest_records_are_recomputed_not_resumed() {
+        // A record journaled by an older binary can decode leniently (the
+        // traffic quantile fields default to 0 when absent). Resuming it
+        // would bake those zeros into the artifact; the runner must notice
+        // the record does not re-serialize canonically and recompute it.
+        let dir = tmp_dir("legacy");
+        let spec = tiny_campaign("unit-legacy");
+        let opts = RunnerOptions {
+            threads: 1,
+            out_dir: dir.clone(),
+            ..RunnerOptions::default()
+        };
+        let reference = run_campaign(&spec, &opts).expect("reference run");
+        let reference_bytes = std::fs::read(reference.json_path.as_ref().unwrap()).unwrap();
+
+        // Strip the quantile fields from one journaled record, as a
+        // pre-analytics binary would have written it.
+        let manifest = std::fs::read_to_string(&reference.manifest_path).unwrap();
+        let legacy: String = manifest
+            .lines()
+            .enumerate()
+            .map(|(i, line)| {
+                let line = if i == 2 {
+                    let stripped = regex_free_strip(line);
+                    assert_ne!(stripped, line, "fields not found to strip");
+                    stripped
+                } else {
+                    line.to_string()
+                };
+                format!("{line}\n")
+            })
+            .collect();
+        std::fs::write(&reference.manifest_path, legacy).unwrap();
+        let _ = std::fs::remove_file(dir.join("CAMPAIGN_unit-legacy.json"));
+
+        let resumed = run_campaign(&spec, &opts).expect("resume over legacy record");
+        assert_eq!(resumed.resumed_jobs, 5, "the lossy record must not resume");
+        assert_eq!(resumed.executed_jobs, 1);
+        assert_eq!(
+            std::fs::read(resumed.json_path.as_ref().unwrap()).unwrap(),
+            reference_bytes,
+            "legacy-manifest resume diverged from the uninterrupted artifact"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Removes the traffic quantile fields from one manifest line (plain
+    /// string surgery; the canonical writer's field order is stable).
+    fn regex_free_strip(line: &str) -> String {
+        let mut out = line.to_string();
+        for key in ["p50_latency_cycles", "p95_latency_cycles"] {
+            let Some(start) = out.find(&format!(", \"{key}\"")) else {
+                continue;
+            };
+            let tail = &out[start + 2..];
+            let end = tail.find(", ").map(|e| start + 2 + e).unwrap_or(out.len());
+            out.replace_range(start..end, "");
+        }
+        out
     }
 
     #[test]

@@ -1,0 +1,511 @@
+//! Mergeable summary statistics over the campaign seed axis.
+//!
+//! A campaign's seed axis re-runs the same scenario under different RNG
+//! seeds; the analytics layer collapses those repeats into per-group
+//! summaries (mean, spread, order statistics, a t-based 95% confidence
+//! interval) so the paper's comparative claims — "scheme X beats baseline
+//! by Y% at load Z" — can be stated with uncertainty attached.
+//!
+//! # Determinism
+//!
+//! [`SummaryStats`] is a deterministic function of the sample **multiset**:
+//! samples are kept in a sorted buffer and every derived quantity (mean,
+//! standard deviation, quantiles) is computed by walking that buffer in
+//! ascending order. Recording the same samples in any order, or merging
+//! partial summaries in any grouping, therefore yields bit-identical
+//! results — `merge(a, b) == merge(b, a)` and chunked accumulation equals
+//! whole accumulation, exactly. That exactness is what lets the aggregate
+//! artifact stay byte-identical at any thread count, and it is pinned by
+//! the property suite in `tests/stats_props.rs`.
+
+use crate::campaign::CampaignSpec;
+use crate::json::Json;
+use crate::outcome::ScenarioOutcome;
+use crate::runner::JobRecord;
+
+/// Schema tag of the `CAMPAIGN_<name>.aggregate.json` artifact.
+pub const AGGREGATE_SCHEMA: &str = "hotnoc-campaign-aggregate-v1";
+
+/// Streaming, mergeable summary statistics over `f64` samples.
+///
+/// Samples live in a sorted order-statistic buffer (campaign groups span
+/// the seed axis, so they stay small); non-finite samples are ignored.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SummaryStats {
+    /// The samples, sorted ascending by `f64::total_cmp`.
+    samples: Vec<f64>,
+}
+
+impl SummaryStats {
+    /// An empty summary.
+    pub fn new() -> SummaryStats {
+        SummaryStats::default()
+    }
+
+    /// A summary of the given samples.
+    pub fn of(samples: &[f64]) -> SummaryStats {
+        let mut s = SummaryStats::new();
+        for &x in samples {
+            s.record(x);
+        }
+        s
+    }
+
+    /// Records one sample. Non-finite values are ignored (they would poison
+    /// every derived statistic).
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        let at = self.samples.partition_point(|s| s.total_cmp(&x).is_lt());
+        self.samples.insert(at, x);
+    }
+
+    /// Folds another summary into this one. Exactly commutative and
+    /// associative: the result depends only on the combined sample
+    /// multiset.
+    pub fn merge(&mut self, other: &SummaryStats) {
+        self.samples.extend_from_slice(&other.samples);
+        self.samples.sort_by(f64::total_cmp);
+    }
+
+    /// Number of (finite) samples recorded.
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.samples.first().copied()
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.last().copied()
+    }
+
+    /// Arithmetic mean (summed in ascending order, so the value is a pure
+    /// function of the sample multiset), or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// Sample standard deviation (the `n - 1` estimator), or `None` with
+    /// fewer than two samples.
+    pub fn std_dev(&self) -> Option<f64> {
+        let n = self.samples.len();
+        if n < 2 {
+            return None;
+        }
+        let mean = self.mean().expect("non-empty");
+        let ss: f64 = self.samples.iter().map(|&x| (x - mean) * (x - mean)).sum();
+        Some((ss / (n - 1) as f64).sqrt())
+    }
+
+    /// The `q`-quantile (0 <= q <= 1) by linear interpolation between
+    /// adjacent order statistics, or `None` when empty. `quantile(0.5)` of
+    /// an even-sized sample is the midpoint of the two central values,
+    /// matching the `bench_regress` median.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let h = q * (self.samples.len() - 1) as f64;
+        let lo = h.floor() as usize;
+        let hi = h.ceil() as usize;
+        let frac = h - lo as f64;
+        Some(self.samples[lo] + frac * (self.samples[hi] - self.samples[lo]))
+    }
+
+    /// The median (`quantile(0.5)`).
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// The 95th percentile (`quantile(0.95)`).
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// Half-width of the two-sided 95% confidence interval of the mean
+    /// (`t_{0.975, n-1} * s / sqrt(n)`), or `None` with fewer than two
+    /// samples.
+    pub fn ci95_half_width(&self) -> Option<f64> {
+        let n = self.count();
+        let s = self.std_dev()?;
+        Some(t_critical_95(n - 1) * s / (n as f64).sqrt())
+    }
+
+    /// The two-sided 95% confidence interval of the mean as `(lo, hi)`, or
+    /// `None` with fewer than two samples.
+    pub fn ci95(&self) -> Option<(f64, f64)> {
+        let mean = self.mean()?;
+        let hw = self.ci95_half_width()?;
+        Some((mean - hw, mean + hw))
+    }
+}
+
+/// Two-sided 95% critical value of Student's t distribution for `df`
+/// degrees of freedom. Exact table through df = 30, then the standard
+/// table rows at 40 / 60 / 120; in between, `df` rounds **down** to the
+/// nearest tabulated row, so the returned value is always >= the true
+/// critical value (conservative: intervals over-cover rather than
+/// under-cover) and non-increasing in `df`.
+pub fn t_critical_95(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[(df - 1) as usize],
+        31..=39 => 2.042,
+        40..=59 => 2.021,
+        60..=119 => 2.000,
+        _ => 1.980,
+    }
+}
+
+/// Identifies one campaign group: every job that differs only in its
+/// seed-axis value. Derived from the job name by stripping the trailing
+/// `/s<seed>` segment the expansion appends.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupKey(String);
+
+impl GroupKey {
+    /// The group of one expanded job name.
+    pub fn of_name(name: &str) -> GroupKey {
+        if let Some((head, tail)) = name.rsplit_once("/s") {
+            if !tail.is_empty() && tail.bytes().all(|b| b.is_ascii_digit()) {
+                return GroupKey(head.to_string());
+            }
+        }
+        GroupKey(name.to_string())
+    }
+
+    /// The group key as text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for GroupKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Whether smaller or larger values of a metric are preferable — the
+/// orientation the diff engine uses to call a change an improvement or a
+/// regression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller is better (latency, peak temperature, stall, energy).
+    LowerIsBetter,
+    /// Larger is better (reduction, delivered packets).
+    HigherIsBetter,
+}
+
+/// The preferred direction of a named metric. Defaults to lower-is-better;
+/// the exceptions are the "more is good" counters.
+pub fn metric_direction(name: &str) -> Direction {
+    match name {
+        "reduction" | "delivered" | "offered" | "phases" => Direction::HigherIsBetter,
+        _ => Direction::LowerIsBetter,
+    }
+}
+
+/// The headline metric of each outcome kind — the single number the
+/// summary table and the diff verdict key on.
+pub fn headline_metric(kind: &str) -> &'static str {
+    match kind {
+        "traffic" => "mean_latency_cycles",
+        "plan-cost" => "stall_us",
+        // cosim and adaptive compare on the achieved peak temperature.
+        _ => "peak",
+    }
+}
+
+/// Flattens an outcome into `(metric name, value)` pairs in a fixed,
+/// kind-specific order (the order the aggregate artifact serializes in).
+pub fn outcome_metrics(outcome: &ScenarioOutcome) -> Vec<(&'static str, f64)> {
+    match outcome {
+        ScenarioOutcome::Cosim(m) => vec![
+            ("peak", m.peak),
+            ("reduction", m.reduction),
+            ("base_peak", m.base_peak),
+            ("mean_temp", m.mean_temp),
+            ("throughput_penalty", m.throughput_penalty),
+            ("stall_seconds", m.stall_seconds),
+            ("migration_energy_j", m.migration_energy_j),
+            ("migrations", m.migrations as f64),
+        ],
+        ScenarioOutcome::Adaptive(m) => vec![
+            ("peak", m.peak),
+            ("reduction", m.reduction),
+            ("base_peak", m.base_peak),
+            ("throughput_penalty", m.throughput_penalty),
+            ("migrations", m.schedule.len() as f64),
+        ],
+        ScenarioOutcome::PlanCost(m) => vec![
+            ("stall_us", m.stall_us),
+            ("phases", m.phases as f64),
+            ("flit_hops", m.flit_hops as f64),
+            ("energy_uj", m.energy_uj),
+            ("moves", m.moves as f64),
+        ],
+        ScenarioOutcome::Traffic(m) => vec![
+            ("mean_latency_cycles", m.mean_latency_cycles),
+            ("p50_latency_cycles", m.p50_latency_cycles as f64),
+            ("p95_latency_cycles", m.p95_latency_cycles as f64),
+            ("max_latency_cycles", m.max_latency_cycles as f64),
+            ("offered", m.offered as f64),
+            ("delivered", m.delivered as f64),
+            ("flit_hops", m.flit_hops as f64),
+        ],
+    }
+}
+
+/// Summary statistics of one campaign group across the seed axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupAggregate {
+    /// The group.
+    pub key: GroupKey,
+    /// Outcome kind tag shared by the group's records.
+    pub kind: &'static str,
+    /// Jobs collapsed into this group.
+    pub n: u64,
+    /// Per-metric summaries, in [`outcome_metrics`] order.
+    pub metrics: Vec<(&'static str, SummaryStats)>,
+}
+
+impl GroupAggregate {
+    /// The summary of one metric by name.
+    pub fn metric(&self, name: &str) -> Option<&SummaryStats> {
+        self.metrics
+            .iter()
+            .find(|(m, _)| *m == name)
+            .map(|(_, s)| s)
+    }
+
+    /// The summary of this group's headline metric.
+    pub fn headline(&self) -> Option<&SummaryStats> {
+        self.metric(headline_metric(self.kind))
+    }
+}
+
+/// Collapses campaign records across the seed axis: one [`GroupAggregate`]
+/// per group, in first-appearance (job-index) order. Records whose group
+/// mixes outcome kinds keep the first kind and skip mismatching records
+/// (cannot happen for engine-expanded campaigns, where a group differs
+/// only by seed).
+pub fn aggregate(records: &[JobRecord]) -> Vec<GroupAggregate> {
+    let mut groups: Vec<GroupAggregate> = Vec::new();
+    for rec in records {
+        let key = GroupKey::of_name(&rec.spec.name);
+        let kind = rec.outcome.kind();
+        let metrics = outcome_metrics(&rec.outcome);
+        match groups.iter_mut().find(|g| g.key == key) {
+            None => {
+                groups.push(GroupAggregate {
+                    key,
+                    kind,
+                    n: 1,
+                    metrics: metrics
+                        .into_iter()
+                        .map(|(name, v)| (name, SummaryStats::of(&[v])))
+                        .collect(),
+                });
+            }
+            Some(g) => {
+                if g.kind != kind {
+                    continue;
+                }
+                g.n += 1;
+                for (name, v) in metrics {
+                    if let Some((_, s)) = g.metrics.iter_mut().find(|(m, _)| *m == name) {
+                        s.record(v);
+                    }
+                }
+            }
+        }
+    }
+    groups
+}
+
+/// Serializes group aggregates to the canonical
+/// `hotnoc-campaign-aggregate-v1` document. Groups appear in job-index
+/// order and every statistic is a deterministic function of the sample
+/// multiset, so the artifact is byte-identical at any thread count.
+pub fn aggregate_json(spec: &CampaignSpec, groups: &[GroupAggregate]) -> String {
+    let stat_json = |s: &SummaryStats| {
+        let mut fields = vec![("n", Json::int(s.count()))];
+        if let Some(mean) = s.mean() {
+            fields.push(("mean", Json::Num(mean)));
+            fields.push(("min", Json::Num(s.min().expect("non-empty"))));
+            fields.push(("max", Json::Num(s.max().expect("non-empty"))));
+            fields.push(("median", Json::Num(s.median().expect("non-empty"))));
+            fields.push(("p95", Json::Num(s.p95().expect("non-empty"))));
+        }
+        if let Some(sd) = s.std_dev() {
+            fields.push(("std_dev", Json::Num(sd)));
+            let (lo, hi) = s.ci95().expect("n >= 2");
+            fields.push(("ci95", Json::Array(vec![Json::Num(lo), Json::Num(hi)])));
+        }
+        Json::object(fields)
+    };
+    let doc = Json::object(vec![
+        ("schema", Json::str(AGGREGATE_SCHEMA)),
+        ("name", Json::Str(spec.name.clone())),
+        ("fingerprint", Json::Str(spec.fingerprint())),
+        ("groups", Json::int(groups.len() as u64)),
+        (
+            "results",
+            Json::Array(
+                groups
+                    .iter()
+                    .map(|g| {
+                        Json::object(vec![
+                            ("group", Json::str(g.key.as_str())),
+                            ("kind", Json::str(g.kind)),
+                            ("n", Json::int(g.n)),
+                            (
+                                "metrics",
+                                Json::Object(
+                                    g.metrics
+                                        .iter()
+                                        .map(|(name, s)| (name.to_string(), stat_json(s)))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let mut text = doc.to_string();
+    text.push('\n');
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_has_no_statistics() {
+        let s = SummaryStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.std_dev(), None);
+        assert_eq!(s.median(), None);
+        assert_eq!(s.ci95(), None);
+    }
+
+    #[test]
+    fn single_sample_statistics() {
+        let s = SummaryStats::of(&[4.5]);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), Some(4.5));
+        assert_eq!(s.min(), Some(4.5));
+        assert_eq!(s.max(), Some(4.5));
+        assert_eq!(s.median(), Some(4.5));
+        assert_eq!(s.std_dev(), None, "no spread estimate from one sample");
+        assert_eq!(s.ci95(), None);
+    }
+
+    #[test]
+    fn known_values() {
+        // {1, 2, 3, 4, 5}: mean 3, sample std sqrt(2.5), median 3.
+        let s = SummaryStats::of(&[3.0, 1.0, 5.0, 2.0, 4.0]);
+        assert_eq!(s.mean(), Some(3.0));
+        assert_eq!(s.median(), Some(3.0));
+        assert!((s.std_dev().unwrap() - 2.5f64.sqrt()).abs() < 1e-12);
+        // CI: 3 +/- 2.776 * sqrt(2.5)/sqrt(5).
+        let hw = s.ci95_half_width().unwrap();
+        assert!((hw - 2.776 * (2.5f64 / 5.0).sqrt()).abs() < 1e-12);
+        let (lo, hi) = s.ci95().unwrap();
+        assert!((lo - (3.0 - hw)).abs() < 1e-12);
+        assert!((hi - (3.0 + hw)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_sample_median_is_the_midpoint() {
+        let s = SummaryStats::of(&[1.0, 2.0, 3.0, 10.0]);
+        assert_eq!(s.median(), Some(2.5));
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(10.0));
+    }
+
+    #[test]
+    fn non_finite_samples_are_ignored() {
+        let s = SummaryStats::of(&[1.0, f64::NAN, f64::INFINITY, 3.0]);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn merge_matches_whole_recording_exactly() {
+        let xs = [0.1, 7.3, 2.2, 9.9, 0.30000000000000004, 5.5, 1e-9];
+        let whole = SummaryStats::of(&xs);
+        let mut a = SummaryStats::of(&xs[..3]);
+        let b = SummaryStats::of(&xs[3..]);
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert_eq!(a.mean(), whole.mean());
+        assert_eq!(a.std_dev(), whole.std_dev());
+    }
+
+    #[test]
+    fn t_table_is_non_increasing() {
+        let mut last = f64::INFINITY;
+        for df in 0..200 {
+            let t = t_critical_95(df);
+            assert!(t <= last, "t({df}) = {t} rose above {last}");
+            last = t;
+        }
+        assert_eq!(t_critical_95(1), 12.706);
+        assert_eq!(t_critical_95(1_000_000), 1.980);
+        // Rounding down keeps brackets conservative: df 31 must not borrow
+        // the *smaller* critical value of df 40 (true t(31) ~ 2.040).
+        assert_eq!(t_critical_95(31), 2.042);
+        assert_eq!(t_critical_95(40), 2.021);
+        assert_eq!(t_critical_95(60), 2.000);
+        assert_eq!(t_critical_95(120), 1.980);
+    }
+
+    #[test]
+    fn group_key_strips_only_the_seed_suffix() {
+        assert_eq!(
+            GroupKey::of_name("A/w0:traffic:uniform/baseline/s17").as_str(),
+            "A/w0:traffic:uniform/baseline"
+        );
+        assert_eq!(
+            GroupKey::of_name("A/w0:ldpc/xy-shift/p8/s0").as_str(),
+            "A/w0:ldpc/xy-shift/p8"
+        );
+        // No seed suffix: the whole name is the group.
+        assert_eq!(GroupKey::of_name("plain-name").as_str(), "plain-name");
+        assert_eq!(GroupKey::of_name("a/sX").as_str(), "a/sX");
+    }
+
+    #[test]
+    fn directions_and_headlines() {
+        assert_eq!(
+            metric_direction("mean_latency_cycles"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(metric_direction("reduction"), Direction::HigherIsBetter);
+        assert_eq!(headline_metric("traffic"), "mean_latency_cycles");
+        assert_eq!(headline_metric("cosim"), "peak");
+        assert_eq!(headline_metric("plan-cost"), "stall_us");
+    }
+}

@@ -48,6 +48,7 @@ fn forty_eight_jobs(name: &str) -> CampaignSpec {
         policies: vec![PolicyAxis::Baseline],
         schemes: vec![],
         periods: vec![],
+        offered_loads: vec![],
         seeds: (0..8).collect(),
     };
     assert_eq!(spec.expand().len(), 48, "test campaign must have 48 jobs");
@@ -133,6 +134,70 @@ fn resume_from_truncated_manifest_matches_uninterrupted_run() {
     );
 
     let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn latency_load_builtin_is_byte_identical_across_threads_and_resume() {
+    // The saturation-curve campaign sweeps the offered-load axis; its
+    // CAMPAIGN json *and* its seed-axis aggregate artifact
+    // (hotnoc-campaign-aggregate-v1) must come out byte-identical at
+    // HOTNOC_THREADS in {1, 4} and across a kill/resume boundary.
+    let spec =
+        hotnoc_scenario::builtin::builtin("latency-load", Fidelity::Quick).expect("known builtin");
+
+    let mut artifacts: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    for threads in [1usize, 4] {
+        let dir = tmp_dir(&format!("latload-t{threads}"));
+        let run = run_campaign(&spec, &opts(&dir, threads)).expect("campaign runs");
+        assert!(run.is_complete());
+        let campaign = std::fs::read(run.json_path.as_ref().expect("artifact")).unwrap();
+        parse_campaign_document(std::str::from_utf8(&campaign).expect("utf8")).expect("validates");
+        let aggregate =
+            std::fs::read(run.aggregate_path.as_ref().expect("aggregate artifact")).unwrap();
+        assert!(std::str::from_utf8(&aggregate)
+            .expect("utf8")
+            .contains("hotnoc-campaign-aggregate-v1"));
+        artifacts.push((campaign, aggregate));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(
+        artifacts[0].0, artifacts[1].0,
+        "CAMPAIGN_latency-load.json differs between 1 and 4 threads"
+    );
+    assert_eq!(
+        artifacts[0].1, artifacts[1].1,
+        "aggregate artifact differs between 1 and 4 threads"
+    );
+
+    // Kill after 5 jobs at t4, resume at t1: same bytes as uninterrupted.
+    let dir = tmp_dir("latload-resume");
+    let partial = run_campaign(
+        &spec,
+        &RunnerOptions {
+            max_jobs: Some(5),
+            ..opts(&dir, 4)
+        },
+    )
+    .expect("partial run");
+    assert!(!partial.is_complete());
+    assert!(
+        partial.aggregate_path.is_none(),
+        "no aggregate while partial"
+    );
+    let resumed = run_campaign(&spec, &opts(&dir, 1)).expect("resume");
+    assert!(resumed.is_complete());
+    assert_eq!(resumed.resumed_jobs, 5);
+    assert_eq!(
+        std::fs::read(resumed.json_path.as_ref().unwrap()).unwrap(),
+        artifacts[0].0,
+        "resumed latency-load artifact diverged"
+    );
+    assert_eq!(
+        std::fs::read(resumed.aggregate_path.as_ref().unwrap()).unwrap(),
+        artifacts[0].1,
+        "resumed latency-load aggregate diverged"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -1,0 +1,159 @@
+//! Property battery for [`hotnoc_scenario::stats::SummaryStats`] — the
+//! invariants the campaign analytics layer's determinism rests on:
+//!
+//! * **merge is exactly commutative and associative**, and chunked
+//!   accumulation equals whole accumulation bit-for-bit (the summary is a
+//!   pure function of the sample multiset);
+//! * the **95% CI shrinks** as the sample count grows (more seeds = a
+//!   tighter interval);
+//! * **quantiles are sandwiched** by adjacent order statistics and are
+//!   monotone in `q`.
+
+use hotnoc_scenario::stats::{t_critical_95, SummaryStats};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Arbitrary finite samples over a wide dynamic range (latencies in
+/// cycles, temperatures in °C, energies in joules all flow through the
+/// same summaries).
+fn samples(min_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    vec(-1.0e6f64..1.0e6, min_len..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `merge(a, b) == merge(b, a)`, exactly — including every derived
+    /// statistic.
+    #[test]
+    fn merge_is_commutative(xs in samples(0), ys in samples(0)) {
+        let (a, b) = (SummaryStats::of(&xs), SummaryStats::of(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.mean(), ba.mean());
+        prop_assert_eq!(ab.std_dev(), ba.std_dev());
+        prop_assert_eq!(ab.median(), ba.median());
+        prop_assert_eq!(ab.ci95(), ba.ci95());
+    }
+
+    /// Chunked accumulation equals whole accumulation bit-for-bit,
+    /// whatever the chunk boundary — and a three-way split brackets
+    /// associativity: `(a + b) + c == a + (b + c)`.
+    #[test]
+    fn chunked_equals_whole(xs in samples(0), cut_a in 0usize..24, cut_b in 0usize..24) {
+        let whole = SummaryStats::of(&xs);
+        let cut = cut_a.min(xs.len());
+        let mut merged = SummaryStats::of(&xs[..cut]);
+        merged.merge(&SummaryStats::of(&xs[cut..]));
+        prop_assert_eq!(&merged, &whole);
+        prop_assert_eq!(merged.mean(), whole.mean());
+        prop_assert_eq!(merged.std_dev(), whole.std_dev());
+        prop_assert_eq!(merged.quantile(0.95), whole.quantile(0.95));
+
+        let (lo, hi) = (cut_a.min(cut_b).min(xs.len()), cut_a.max(cut_b).min(xs.len()));
+        let (a, b, c) = (
+            SummaryStats::of(&xs[..lo]),
+            SummaryStats::of(&xs[lo..hi]),
+            SummaryStats::of(&xs[hi..]),
+        );
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut right_tail = b.clone();
+        right_tail.merge(&c);
+        let mut right = a.clone();
+        right.merge(&right_tail);
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &whole);
+    }
+
+    /// Recording the same samples in any order yields the same summary.
+    #[test]
+    fn recording_order_is_irrelevant(xs in samples(2), rotation in 0usize..24) {
+        let forward = SummaryStats::of(&xs);
+        let mut reversed: Vec<f64> = xs.clone();
+        reversed.reverse();
+        prop_assert_eq!(&SummaryStats::of(&reversed), &forward);
+        let k = rotation % xs.len();
+        let mut rotated = xs[k..].to_vec();
+        rotated.extend_from_slice(&xs[..k]);
+        prop_assert_eq!(&SummaryStats::of(&rotated), &forward);
+    }
+
+    /// More samples from the same spread = a strictly tighter 95% CI:
+    /// repeating the sample set m times keeps the mean and (almost) the
+    /// spread while growing n, so the half-width must fall.
+    #[test]
+    fn ci_shrinks_with_n(xs in samples(2), m in 2usize..6) {
+        // Guarantee non-zero spread, else both half-widths are 0.
+        let mut xs = xs;
+        xs.push(xs[0] + 1.0);
+        let small = SummaryStats::of(&xs);
+        let mut repeated = Vec::with_capacity(xs.len() * m);
+        for _ in 0..m {
+            repeated.extend_from_slice(&xs);
+        }
+        let big = SummaryStats::of(&repeated);
+        let (hw_small, hw_big) = (
+            small.ci95_half_width().expect("n >= 2"),
+            big.ci95_half_width().expect("n >= 2"),
+        );
+        prop_assert!(
+            hw_big < hw_small,
+            "CI failed to shrink: n={} hw={hw_small} vs n={} hw={hw_big}",
+            small.count(),
+            big.count()
+        );
+        // The interval always contains the mean.
+        let (lo, hi) = big.ci95().expect("n >= 2");
+        let mean = big.mean().expect("non-empty");
+        prop_assert!(lo <= mean && mean <= hi);
+    }
+
+    /// Every quantile is sandwiched by the adjacent order statistics of
+    /// the sorted sample set (and hence by min/max), and quantiles are
+    /// monotone non-decreasing in `q`.
+    #[test]
+    fn quantile_sandwich_and_monotonicity(xs in samples(1), q in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let s = SummaryStats::of(&xs);
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+
+        let v = s.quantile(q).expect("non-empty");
+        let h = q * (n - 1) as f64;
+        let (lo, hi) = (sorted[h.floor() as usize], sorted[h.ceil() as usize]);
+        prop_assert!(lo <= v && v <= hi, "quantile({q}) = {v} outside [{lo}, {hi}]");
+        prop_assert!(s.min().unwrap() <= v && v <= s.max().unwrap());
+
+        let (qa, qb) = (q.min(q2), q.max(q2));
+        prop_assert!(s.quantile(qa).unwrap() <= s.quantile(qb).unwrap());
+        // Exact order statistics at the endpoints and the median contract.
+        prop_assert_eq!(s.quantile(0.0), s.min());
+        prop_assert_eq!(s.quantile(1.0), s.max());
+        prop_assert!(s.median().unwrap() <= s.p95().unwrap());
+    }
+
+    /// Mean and standard deviation agree with direct two-pass reference
+    /// computation (up to float tolerance — the implementation fixes the
+    /// summation order, the reference does not).
+    #[test]
+    fn mean_and_std_match_reference(xs in samples(2)) {
+        let s = SummaryStats::of(&xs);
+        let n = xs.len() as f64;
+        let mean_ref: f64 = xs.iter().sum::<f64>() / n;
+        let var_ref: f64 =
+            xs.iter().map(|&x| (x - mean_ref) * (x - mean_ref)).sum::<f64>() / (n - 1.0);
+        let mean = s.mean().expect("non-empty");
+        let sd = s.std_dev().expect("n >= 2");
+        prop_assert!((mean - mean_ref).abs() <= 1e-9 * (1.0 + mean_ref.abs()));
+        prop_assert!((sd - var_ref.sqrt()).abs() <= 1e-6 * (1.0 + var_ref.sqrt()));
+        // And the CI is exactly t * s / sqrt(n) around that mean.
+        let hw = s.ci95_half_width().expect("n >= 2");
+        let expected = t_critical_95(xs.len() as u64 - 1) * sd / n.sqrt();
+        prop_assert_eq!(hw, expected);
+    }
+}

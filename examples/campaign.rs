@@ -35,6 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         policies: vec![PolicyAxis::Periodic],
         schemes: vec![MigrationScheme::XYShift, MigrationScheme::Rotation],
         periods: vec![8, 32],
+        offered_loads: vec![],
         seeds: vec![1, 2, 3],
     };
     println!("expanding {} jobs:", spec.expand().len());
