@@ -14,7 +14,9 @@
 //! success whatever it finds). 1 = runtime failure (job failed, write
 //! failed), a `check` cross-validation failure, or a gated `diff`
 //! regression. 2 = usage error or bad input (unreadable file, not JSON,
-//! missing/unknown `schema` tag); for `diff`, *any* unusable artifact —
+//! missing/unknown `schema` tag, a scenario spec that fails validation —
+//! e.g. a fault event naming a router outside the mesh); for `diff`,
+//! *any* unusable artifact —
 //! including one that fails cross-validation — is bad input (exit 2),
 //! mirroring `bench_regress`, so exit 1 from `diff` always means "a
 //! regression was detected".
@@ -370,18 +372,20 @@ fn scenario_run(args: &[&str]) -> ExitCode {
     let Some(path) = flags.get("--spec") else {
         return usage_error("scenario run needs --spec FILE");
     };
+    // An unreadable or invalid spec is bad input (exit 2), not a runtime
+    // failure: nothing was simulated yet.
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("hotnoc: {path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     let spec = match ScenarioSpec::parse(&text) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("hotnoc: {path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     match hotnoc_scenario::run_scenario(&spec) {

@@ -139,6 +139,7 @@ fn campaign_list_and_expand() {
         "migration-cost",
         "adaptive-compare",
         "sweep",
+        "degraded-mesh",
         "smoke",
     ] {
         assert!(stdout(&list).contains(name), "missing builtin {name}");
@@ -180,6 +181,157 @@ fn scenario_run_prints_outcome_json() {
     let text = stdout(&run);
     assert!(text.contains("\"kind\": \"traffic\""), "{text}");
     assert!(text.contains("\"drained\": true"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scenario_run_with_degraded_fabric_reports_fault_counters() {
+    let dir = tmp_dir("faulty");
+    let spec = dir.join("degraded.json");
+    std::fs::write(
+        &spec,
+        r#"{
+  "name": "degraded-traffic",
+  "chip": {"config": "A"},
+  "workload": {"kind": "traffic", "pattern": "uniform", "rate": 0.08, "packet_len": 3, "cycles": 300},
+  "policy": {"kind": "baseline"},
+  "mode": "cosim",
+  "fidelity": "quick",
+  "faults": [
+    {"at": 0, "fail_router": [1, 1]},
+    {"at": 50, "fail_link": [[2, 2], [3, 2]]}
+  ],
+  "seed": 7
+}"#,
+    )
+    .unwrap();
+    let run = hotnoc()
+        .args(["scenario", "run", "--spec"])
+        .arg(&spec)
+        .output()
+        .expect("spawn");
+    assert!(run.status.success(), "stderr: {}", stderr(&run));
+    let text = stdout(&run);
+    // A dead router forces drops and/or detours; the outcome must say so.
+    assert!(
+        text.contains("packets_dropped") || text.contains("detour_hops"),
+        "{text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scenario_run_rejects_out_of_bounds_fault_as_bad_input() {
+    // A fault plan naming a router outside the mesh is bad input: exit 2
+    // with a message pointing at the offending event — never a panic, and
+    // not exit 1 (nothing was simulated).
+    let dir = tmp_dir("oob-fault");
+    let spec = dir.join("oob.json");
+    std::fs::write(
+        &spec,
+        r#"{
+  "name": "oob-fault",
+  "chip": {"config": "A"},
+  "workload": {"kind": "traffic", "pattern": "uniform", "rate": 0.05, "packet_len": 3, "cycles": 100},
+  "policy": {"kind": "baseline"},
+  "mode": "cosim",
+  "fidelity": "quick",
+  "faults": [{"at": 0, "fail_router": [9, 9]}],
+  "seed": 1
+}"#,
+    )
+    .unwrap();
+    let run = hotnoc()
+        .args(["scenario", "run", "--spec"])
+        .arg(&spec)
+        .output()
+        .expect("spawn");
+    assert_eq!(run.status.code(), Some(2), "stderr: {}", stderr(&run));
+    let err = stderr(&run);
+    assert!(err.contains("fault"), "{err}");
+
+    // Fault plans on the LDPC co-simulation are equally bad input.
+    let ldpc = dir.join("ldpc-fault.json");
+    std::fs::write(
+        &ldpc,
+        r#"{
+  "name": "ldpc-fault",
+  "chip": {"config": "A"},
+  "workload": {"kind": "ldpc"},
+  "policy": {"kind": "baseline"},
+  "mode": "cosim",
+  "fidelity": "quick",
+  "faults": [{"at": 0, "fail_router": [1, 1]}],
+  "seed": 1
+}"#,
+    )
+    .unwrap();
+    let run = hotnoc()
+        .args(["scenario", "run", "--spec"])
+        .arg(&ldpc)
+        .output()
+        .expect("spawn");
+    assert_eq!(run.status.code(), Some(2), "stderr: {}", stderr(&run));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn campaign_check_cross_validates_fault_axes() {
+    // A campaign over the failed_routers axis runs end to end from a spec
+    // file, and `check` catches an artifact whose fault axis was tampered
+    // with (the embedded spec re-expands to different jobs).
+    let dir = tmp_dir("fault-axis");
+    let spec = dir.join("degraded.json");
+    std::fs::write(
+        &spec,
+        r#"{
+  "schema": "hotnoc-campaign-spec-v1",
+  "name": "cli-degraded",
+  "seed": 19,
+  "fidelity": "quick",
+  "configs": [{"config": "A"}],
+  "workloads": [
+    {"kind": "traffic", "pattern": "uniform", "rate": 0.06, "packet_len": 3, "cycles": 200}
+  ],
+  "policies": ["baseline"],
+  "failed_routers": [0, 1],
+  "seeds": [1, 2]
+}"#,
+    )
+    .unwrap();
+    let out_dir = dir.join("artifacts");
+    let run = hotnoc()
+        .args(["campaign", "run", "--spec"])
+        .arg(&spec)
+        .args(["--out-dir"])
+        .arg(&out_dir)
+        .args(["--threads", "2", "--quiet"])
+        .output()
+        .expect("spawn hotnoc");
+    assert!(run.status.success(), "stderr: {}", stderr(&run));
+    let artifact = out_dir.join("CAMPAIGN_cli-degraded.json");
+    let body = std::fs::read_to_string(&artifact).unwrap();
+    assert!(body.contains("/fr1/"), "fault tag missing from artifact");
+
+    let check = hotnoc()
+        .args(["campaign", "check"])
+        .arg(&artifact)
+        .output()
+        .expect("spawn hotnoc");
+    assert!(check.status.success(), "stderr: {}", stderr(&check));
+
+    let tampered = out_dir.join("CAMPAIGN_tampered-axis.json");
+    std::fs::write(
+        &tampered,
+        body.replace("\"failed_routers\": [0, 1]", "\"failed_routers\": [0, 2]"),
+    )
+    .unwrap();
+    let bad = hotnoc()
+        .args(["campaign", "check"])
+        .arg(&tampered)
+        .output()
+        .expect("spawn hotnoc");
+    assert_eq!(bad.status.code(), Some(1), "stderr: {}", stderr(&bad));
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -43,6 +43,11 @@ pub enum NocError {
         /// Human-readable description of the problem.
         what: &'static str,
     },
+    /// A fault plan references components the mesh does not have.
+    InvalidFaultPlan {
+        /// Human-readable description of the problem.
+        what: String,
+    },
 }
 
 impl fmt::Display for NocError {
@@ -68,6 +73,7 @@ impl fmt::Display for NocError {
                 "network failed to drain within {budget} cycles ({in_flight} flits in flight)"
             ),
             NocError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            NocError::InvalidFaultPlan { what } => write!(f, "invalid fault plan: {what}"),
         }
     }
 }
@@ -95,6 +101,9 @@ mod tests {
             },
             NocError::InvalidConfig {
                 what: "buffer depth",
+            },
+            NocError::InvalidFaultPlan {
+                what: "router (9, 9) outside mesh".to_string(),
             },
         ];
         for e in errors {

@@ -129,6 +129,10 @@ pub struct Flit {
     pub inject_cycle: u64,
     /// Payload word (used for bit-switching statistics, not interpreted).
     pub payload: u64,
+    /// Surround-routing phase: `true` once the packet has entered the
+    /// descending half of its up*/down* detour route. Always `false` on a
+    /// healthy fabric, and reset network-wide at every fault epoch.
+    pub down_phase: bool,
 }
 
 impl Flit {
@@ -177,6 +181,7 @@ pub fn packetize(packet: &Packet, num_vcs: u8, inject_cycle: u64) -> Vec<Flit> {
                 vc,
                 inject_cycle,
                 payload: state,
+                down_phase: false,
             }
         })
         .collect()

@@ -37,6 +37,7 @@
 
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod flit;
 pub mod io_interface;
 pub mod network;
@@ -49,6 +50,7 @@ pub mod traffic;
 
 pub use config::NocConfig;
 pub use error::NocError;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultState};
 pub use flit::{Flit, FlitKind, Packet, PacketClass, PacketId};
 pub use io_interface::{AddressMap, IdentityMap};
 pub use network::{DeliveredPacket, Network};

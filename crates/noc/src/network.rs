@@ -2,6 +2,7 @@
 
 use crate::config::NocConfig;
 use crate::error::NocError;
+use crate::fault::{FaultKind, FaultPlan, FaultState};
 use crate::flit::{Flit, Packet, PacketClass, PacketId};
 use crate::io_interface::AddressMap;
 use crate::nic::Nic;
@@ -9,7 +10,7 @@ use crate::router::{Router, VcState};
 use crate::routing::{Routing, RoutingKind};
 use crate::stats::{ActivitySnapshot, NetworkStats};
 use crate::topology::{Coord, Direction, Mesh, NodeId};
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 
 /// A packet delivery record handed to the application.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +43,18 @@ struct CreditEvent {
     out_port: usize,
     vc: u8,
     at: u64,
+}
+
+/// The installed fault schedule plus the live/dead view it drives. Boxed
+/// behind an `Option` so healthy networks pay one pointer of overhead.
+struct FaultDriver {
+    /// Scheduled events, sorted by cycle (stable, so same-cycle events
+    /// apply in plan order).
+    events: Vec<crate::fault::FaultEvent>,
+    /// Index of the first event not yet applied.
+    next: usize,
+    /// Current enable bits and detour tables.
+    state: FaultState,
 }
 
 /// The simulated network-on-chip.
@@ -117,6 +130,9 @@ pub struct Network {
     total_buffered: u64,
     total_on_links: u64,
     total_nic_queued: u64,
+    /// Runtime fault schedule and live/dead fabric view; `None` until a
+    /// [`FaultPlan`] is installed.
+    faults: Option<Box<FaultDriver>>,
 }
 
 /// Adds `amount` work units to router `r`, enrolling it in the dirty list if
@@ -144,6 +160,9 @@ struct SweepCtx<'a> {
     /// `5 * num_vcs`, the round-robin arbitration slot count.
     slots: usize,
     neighbors: &'a [[Option<u32>; 4]],
+    /// Set only while the fabric is degraded; route computation then uses
+    /// the surround-routing detour tables instead of `routing`.
+    faults: Option<&'a FaultState>,
 }
 
 /// One stripe of the allocation sweep: a contiguous router-id range
@@ -229,11 +248,33 @@ fn sweep_stripe(ctx: &SweepCtx<'_>, stripe: &mut Stripe<'_>, out: &mut SweepOut)
                         continue;
                     };
                     if front.is_head() {
-                        let dst = ctx.mesh.coord(front.dst);
-                        let out_dir = ctx.routing.next_hop(coord, dst);
+                        let (dst_id, len, packet, down) =
+                            (front.dst, front.len, front.packet, front.down_phase);
+                        let dst = ctx.mesh.coord(dst_id);
+                        let out_dir = match ctx.faults {
+                            // Degraded fabric: surround routing. The detour
+                            // table is total over live (position, dst) pairs
+                            // because unroutable packets are purged at fault
+                            // application, before any sweep runs.
+                            Some(fs) => {
+                                let (dir, now_down) = fs
+                                    .next_hop(r_global, dst_id.index(), down)
+                                    .expect("unroutable packets are purged at fault events");
+                                if now_down != down {
+                                    ivc.buf.front_mut().expect("checked above").down_phase =
+                                        now_down;
+                                }
+                                if dir != ctx.routing.next_hop(coord, dst) {
+                                    out.stats.detour_hops += 1;
+                                }
+                                dir
+                            }
+                            None => ctx.routing.next_hop(coord, dst),
+                        };
                         ivc.state = VcState::Active {
                             out_dir,
-                            flits_left: front.len,
+                            flits_left: len,
+                            packet,
                         };
                         router.activity.routes_computed += 1;
                     } else {
@@ -455,6 +496,7 @@ impl Network {
             total_buffered: 0,
             total_on_links: 0,
             total_nic_queued: 0,
+            faults: None,
         })
     }
 
@@ -507,6 +549,25 @@ impl Network {
                     width: self.mesh.width() as u8,
                     height: self.mesh.height() as u8,
                 });
+            }
+        }
+        // On a degraded fabric, packets whose endpoints are dead or mutually
+        // unreachable are dropped at the source NIC: they count as injected
+        // *and* dropped so flit conservation holds, and the caller's traffic
+        // schedule is unaffected.
+        if let Some(d) = &self.faults {
+            if d.state.active() {
+                let (src, dst) = (packet.src.index(), packet.dst.index());
+                if !d.state.router_enabled(src)
+                    || !d.state.router_enabled(dst)
+                    || !d.state.reachable(src, dst)
+                {
+                    self.stats.packets_injected += 1;
+                    self.stats.flits_injected += packet.len_flits as u64;
+                    self.stats.packets_dropped += 1;
+                    self.stats.flits_dropped += packet.len_flits as u64;
+                    return Ok(());
+                }
             }
         }
         self.nics[packet.src.index()].enqueue(&packet, self.cfg.num_vcs, self.cycle);
@@ -633,6 +694,9 @@ impl Network {
     /// are visited; an idle network advances its clock in O(1).
     pub fn step(&mut self) {
         let now = self.cycle;
+        if self.faults.is_some() {
+            self.apply_fault_events(now);
+        }
         self.merge_worklist();
         if self.worklist.is_empty() {
             self.cycle += 1;
@@ -730,6 +794,10 @@ impl Network {
             num_vcs: self.cfg.num_vcs as usize,
             slots: 5 * self.cfg.num_vcs as usize,
             neighbors: &self.neighbors,
+            faults: match &self.faults {
+                Some(d) if d.state.active() => Some(&d.state),
+                _ => None,
+            },
         };
         if nstripes == 1 {
             let out = &mut self.stripe_outs[0];
@@ -800,6 +868,14 @@ impl Network {
             self.total_buffered -= out.flits_popped;
             self.total_on_links += out.flits_to_links;
             for ev in out.credits.drain(..) {
+                // Credits addressed to a disabled router vanish with it; its
+                // credit counters are rebuilt from neighbor buffer occupancy
+                // if it is ever repaired.
+                if let Some(d) = &self.faults {
+                    if !d.state.router_enabled(ev.router) {
+                        continue;
+                    }
+                }
                 self.routers[ev.router].outputs[ev.out_port]
                     .credit_queue
                     .push_back((ev.vc, ev.at));
@@ -909,6 +985,414 @@ impl Network {
         for nic in &mut self.nics {
             nic.flits_injected = 0;
             nic.flits_ejected = 0;
+        }
+    }
+
+    /// Installs (or replaces) the runtime fault schedule.
+    ///
+    /// Events apply at the start of their scheduled cycle, before any flit
+    /// moves; events scheduled in the past fire at the next [`Network::step`].
+    /// Replacing a plan keeps the current enable/disable state of the fabric
+    /// and only swaps the pending schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidFaultPlan`] if the plan references
+    /// coordinates outside the mesh or links between non-adjacent routers.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) -> Result<(), NocError> {
+        plan.validate(self.mesh)?;
+        let mut events = plan.events().to_vec();
+        events.sort_by_key(|e| e.at);
+        match &mut self.faults {
+            Some(d) => {
+                d.events = events;
+                d.next = 0;
+            }
+            None => {
+                self.faults = Some(Box::new(FaultDriver {
+                    events,
+                    next: 0,
+                    state: FaultState::healthy(self.mesh),
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    /// The current live/dead view of the fabric, or `None` if no fault plan
+    /// was ever installed.
+    pub fn fault_state(&self) -> Option<&FaultState> {
+        self.faults.as_deref().map(|d| &d.state)
+    }
+
+    /// The node index and outgoing direction of the `a`-side of a validated
+    /// link `(a, b)`.
+    fn link_endpoint(&self, a: Coord, b: Coord) -> (usize, Direction) {
+        let id = self.mesh.node_id(a).expect("validated plan").index();
+        let dir = Direction::MESH
+            .into_iter()
+            .find(|&d| self.mesh.neighbor(a, d) == Some(b))
+            .expect("validated plan joins mesh neighbors");
+        (id, dir)
+    }
+
+    /// Applies every fault event scheduled at or before `now`, as one batch:
+    /// flip the enable bits, rebuild the detour tables, then tear down all
+    /// traffic the new fabric can no longer carry. Runs serially at the top
+    /// of [`Network::step`], so the parallel sweep only ever observes a
+    /// settled fabric.
+    fn apply_fault_events(&mut self, now: u64) {
+        match &self.faults {
+            Some(d) if d.next < d.events.len() && d.events[d.next].at <= now => {}
+            _ => return,
+        }
+        let mut driver = self.faults.take().expect("checked above");
+        let mut newly_failed: Vec<usize> = Vec::new();
+        let mut repaired: Vec<usize> = Vec::new();
+        let mut changed = false;
+        while driver.next < driver.events.len() && driver.events[driver.next].at <= now {
+            let ev = driver.events[driver.next];
+            driver.next += 1;
+            match ev.kind {
+                FaultKind::FailRouter(c) => {
+                    let id = self.mesh.node_id(c).expect("validated plan").index();
+                    if driver.state.set_router(id, false) {
+                        newly_failed.push(id);
+                        changed = true;
+                    }
+                }
+                FaultKind::RepairRouter(c) => {
+                    let id = self.mesh.node_id(c).expect("validated plan").index();
+                    if driver.state.set_router(id, true) {
+                        repaired.push(id);
+                        changed = true;
+                    }
+                }
+                FaultKind::FailLink(a, b) => {
+                    let (id, dir) = self.link_endpoint(a, b);
+                    changed |= driver.state.set_link(self.mesh, id, dir, false);
+                }
+                FaultKind::RepairLink(a, b) => {
+                    let (id, dir) = self.link_endpoint(a, b);
+                    changed |= driver.state.set_link(self.mesh, id, dir, true);
+                }
+            }
+        }
+        if changed {
+            driver.state.rebuild(self.mesh);
+            self.fault_teardown(&driver.state, &newly_failed);
+            for &r in &repaired {
+                self.restore_router_credits(r, &driver.state);
+            }
+        }
+        self.faults = Some(driver);
+    }
+
+    /// Packet-atomic teardown after a fault epoch change: condemns every
+    /// packet with a flit at a dead component, with a dead or unreachable
+    /// destination, or mid-stream across more than one buffer/link/queue,
+    /// physically removes all its flits (with credit refunds to live
+    /// upstream routers), resets newly failed routers to power-on state,
+    /// and discards every surviving packet's committed route and routing
+    /// phase so all traffic re-plans against the new fabric. Dropping
+    /// mid-stream wormholes is what keeps reconfiguration deadlock-free:
+    /// no channel claim survives a table change, so the up*/down* channel
+    /// ordering of the new epoch is the only one in effect.
+    fn fault_teardown(&mut self, state: &FaultState, newly_failed: &[usize]) {
+        let n = self.mesh.len();
+        let local = Direction::Local.index();
+
+        // Pass 1: condemn. A packet dies at a reconfiguration epoch if any
+        // of its flits sits at a dead router or rides a dead link, its
+        // destination is dead or unreachable from where its flits are, or
+        // it is mid-stream: its flits span more than one buffer, link or
+        // NIC queue, or some were already consumed by reassembly. Survivors
+        // are packets wholly at rest in a single container; pass 2 resets
+        // their committed routes, so all traffic re-plans against the new
+        // fabric from a clean slate. That makes the up*/down* deadlock-
+        // freedom argument hold unconditionally after every epoch — no
+        // wormhole spans a table change, so no stale channel claim can mix
+        // the old and new channel orderings into a cycle.
+        let mut doomed: HashSet<PacketId> = HashSet::new();
+        // Per packet: flits found, packet length, first container seen
+        // (encoded as router * 16 + slot).
+        let mut seen: std::collections::HashMap<PacketId, (u32, u32, u32)> =
+            std::collections::HashMap::new();
+        let mesh = self.mesh;
+        let routing = self.routing;
+        // `entry` is the live channel whose downstream buffer holds (or will
+        // receive) this flit: the upstream node and its outgoing direction.
+        let mut note = |flit: &Flit,
+                        container: u32,
+                        at: usize,
+                        dead_here: bool,
+                        entry: Option<(usize, Direction)>,
+                        doomed: &mut HashSet<PacketId>| {
+            let dst = flit.dst.index();
+            if dead_here || !state.router_enabled(dst) || !state.reachable(at, dst) {
+                doomed.insert(flit.packet);
+            } else if let Some((from, dir)) = entry {
+                // Residency discipline: a packet occupying the downstream
+                // buffer of channel `from -> at` may only resume in a phase
+                // that channel permits — a descending-channel resident must
+                // finish by descending, and after a return to full health it
+                // must sit where its XY route would have put it. Anything
+                // else would carry a channel dependency across the epoch
+                // that the routing discipline's acyclicity proof forbids.
+                let keep = if state.active() {
+                    !state.channel_descends(from, at) || state.down_reachable(at, dst)
+                } else {
+                    routing.next_hop(mesh.coord(NodeId::new(from as u16)), mesh.coord(flit.dst))
+                        == dir
+                };
+                if !keep {
+                    doomed.insert(flit.packet);
+                }
+            }
+            let e = seen.entry(flit.packet).or_insert((0, flit.len, container));
+            e.0 += 1;
+            if e.2 != container {
+                doomed.insert(flit.packet);
+            }
+        };
+        for r in 0..n {
+            let r_dead = !state.router_enabled(r);
+            let base = (r * 16) as u32;
+            for flit in &self.nics[r].inject_queue {
+                note(flit, base + 15, r, r_dead, None, &mut doomed);
+            }
+            for (p, port) in self.routers[r].inputs.iter().enumerate() {
+                let entry = if p < 4 {
+                    self.neighbors[r][p].and_then(|u| {
+                        let u = u as usize;
+                        (state.router_enabled(u) && state.link_enabled(r, Direction::MESH[p]))
+                            .then_some((u, Direction::MESH[p].opposite()))
+                    })
+                } else {
+                    None
+                };
+                for (vc, ivc) in port.vcs.iter().enumerate() {
+                    for flit in &ivc.buf {
+                        note(
+                            flit,
+                            base + (p * 2 + vc) as u32,
+                            r,
+                            r_dead,
+                            entry,
+                            &mut doomed,
+                        );
+                    }
+                }
+            }
+            for d in 0..4 {
+                if self.links[r][d].is_empty() {
+                    continue;
+                }
+                let nb = self.neighbors[r][d].expect("flits only travel real links") as usize;
+                let here_dead = r_dead
+                    || !state.link_enabled(r, Direction::MESH[d])
+                    || !state.router_enabled(nb);
+                for (flit, _) in &self.links[r][d] {
+                    note(
+                        flit,
+                        base + 10 + d as u32,
+                        nb,
+                        here_dead,
+                        Some((r, Direction::MESH[d])),
+                        &mut doomed,
+                    );
+                }
+            }
+        }
+        for (packet, &(count, len, _)) in &seen {
+            if count < len {
+                doomed.insert(*packet);
+            }
+        }
+
+        // Pass 2: remove and repair the books. Credit refunds target other
+        // routers, so they are collected and applied after the per-router
+        // loop.
+        let mut refunds: Vec<(usize, usize, u8)> = Vec::new();
+        let mut flits_dropped: u64 = 0;
+        for r in 0..n {
+            if newly_failed.contains(&r) {
+                // Full power-off reset: every flit inside dies (its packet
+                // is condemned), upstream routers get their credits back,
+                // and the router restarts from power-on state if repaired.
+                let router = &self.routers[r];
+                for (p, port) in router.inputs.iter().enumerate() {
+                    for ivc in &port.vcs {
+                        for flit in &ivc.buf {
+                            flits_dropped += 1;
+                            if p != local {
+                                let up = self.neighbors[r][p].expect("mesh port fed by neighbor");
+                                if state.router_enabled(up as usize) {
+                                    refunds.push((
+                                        up as usize,
+                                        Direction::ALL[p].opposite().index(),
+                                        flit.vc,
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+                self.total_buffered -= router.buffered_flits() as u64;
+                self.buffered[r] = 0;
+                for d in 0..4 {
+                    let on_link = self.links[r][d].len() as u64;
+                    self.total_on_links -= on_link;
+                    flits_dropped += on_link;
+                    self.links[r][d].clear();
+                }
+                let queued = self.nics[r].clear_for_fault() as u64;
+                self.total_nic_queued -= queued;
+                flits_dropped += queued;
+                let activity = self.routers[r].activity;
+                self.routers[r] = Router::new(self.mesh.coord(NodeId::new(r as u16)), &self.cfg);
+                self.routers[r].activity = activity;
+                self.work[r] = 0;
+                continue;
+            }
+            if !state.router_enabled(r) {
+                // Failed in an earlier epoch: already empty.
+                continue;
+            }
+            // Live router: surgically remove condemned flits, refund the
+            // credits they held, release their wormhole channels, and reset
+            // every survivor's routing phase.
+            let nic = &mut self.nics[r];
+            let before = nic.inject_queue.len();
+            nic.inject_queue.retain(|f| !doomed.contains(&f.packet));
+            let removed = (before - nic.inject_queue.len()) as u64;
+            if removed > 0 {
+                self.total_nic_queued -= removed;
+                self.work[r] -= removed as u32;
+                flits_dropped += removed;
+            }
+            for f in nic.inject_queue.iter_mut() {
+                f.down_phase = false;
+            }
+            nic.abort_reassembly(&doomed);
+            let router = &mut self.routers[r];
+            for p in 0..5 {
+                // The restart phase for survivors in this port's buffers:
+                // residents of a descending channel resume descending (pass
+                // 1 condemned any that could not), everyone else re-plans
+                // from the ascending phase.
+                let resume_down = p < 4
+                    && match self.neighbors[r][p] {
+                        Some(u) => {
+                            let u = u as usize;
+                            state.router_enabled(u)
+                                && state.link_enabled(r, Direction::MESH[p])
+                                && state.channel_descends(u, r)
+                        }
+                        None => false,
+                    };
+                for vc in 0..self.cfg.num_vcs as usize {
+                    let ivc = &mut router.inputs[p].vcs[vc];
+                    let before = ivc.buf.len();
+                    if before > 0 {
+                        let mut kept = VecDeque::with_capacity(before);
+                        while let Some(mut f) = ivc.buf.pop_front() {
+                            if doomed.contains(&f.packet) {
+                                flits_dropped += 1;
+                                if p != local {
+                                    let up =
+                                        self.neighbors[r][p].expect("mesh port fed by neighbor");
+                                    if state.router_enabled(up as usize) {
+                                        refunds.push((
+                                            up as usize,
+                                            Direction::ALL[p].opposite().index(),
+                                            f.vc,
+                                        ));
+                                    }
+                                }
+                            } else {
+                                f.down_phase = resume_down;
+                                kept.push_back(f);
+                            }
+                        }
+                        let removed = (before - kept.len()) as u32;
+                        ivc.buf = kept;
+                        if removed > 0 {
+                            self.buffered[r] -= removed;
+                            self.total_buffered -= removed as u64;
+                            self.work[r] -= removed;
+                        }
+                    }
+                    if let VcState::Active { out_dir, .. } = ivc.state {
+                        // Discard every committed-but-unsent route at the
+                        // epoch: a surviving Active packet is wholly
+                        // buffered here (mid-stream packets were condemned
+                        // above) and re-plans against the new tables, while
+                        // a doomed one releases its wormhole claim.
+                        ivc.state = VcState::Idle;
+                        let out = &mut router.outputs[out_dir.index()];
+                        if out.vc_owner[vc] == Some((p as u8, vc as u8)) {
+                            out.vc_owner[vc] = None;
+                        }
+                    }
+                }
+            }
+            for d in 0..4 {
+                let q = &mut self.links[r][d];
+                if q.is_empty() {
+                    continue;
+                }
+                // Survivors here land in the downstream buffer of channel
+                // `r -> nb`; their restart phase follows that channel.
+                let resume_down = match self.neighbors[r][d] {
+                    Some(nb) => state.channel_descends(r, nb as usize),
+                    None => false,
+                };
+                let before = q.len();
+                let mut kept = VecDeque::with_capacity(before);
+                while let Some((mut f, at)) = q.pop_front() {
+                    if doomed.contains(&f.packet) {
+                        flits_dropped += 1;
+                        refunds.push((r, d, f.vc));
+                    } else {
+                        f.down_phase = resume_down;
+                        kept.push_back((f, at));
+                    }
+                }
+                let removed = (before - kept.len()) as u32;
+                *q = kept;
+                if removed > 0 {
+                    self.total_on_links -= removed as u64;
+                    self.work[r] -= removed;
+                }
+            }
+        }
+        for (router, out_port, vc) in refunds {
+            self.routers[router].outputs[out_port].credits[vc as usize] += 1;
+        }
+        self.stats.flits_dropped += flits_dropped;
+        self.stats.packets_dropped += doomed.len() as u64;
+    }
+
+    /// Re-arms a repaired router's output credit counters from the actual
+    /// buffer occupancy of its neighbors. Flits the router sent before it
+    /// failed may still sit in those buffers; their credits return through
+    /// the normal queue as they drain, landing the counters exactly back at
+    /// `buffer_depth`.
+    fn restore_router_credits(&mut self, r: usize, state: &FaultState) {
+        for d in 0..4 {
+            let Some(nb) = self.neighbors[r][d] else {
+                continue;
+            };
+            let nb = nb as usize;
+            if !state.router_enabled(nb) {
+                continue;
+            }
+            let facing = Direction::MESH[d].opposite().index();
+            for vc in 0..self.cfg.num_vcs as usize {
+                let occupied = self.routers[nb].inputs[facing].vcs[vc].buf.len() as u32;
+                self.routers[r].outputs[d].credits[vc] = self.cfg.buffer_depth - occupied;
+            }
         }
     }
 }
@@ -1203,6 +1687,106 @@ mod tests {
     }
 
     #[test]
+    fn router_failure_mid_flight_conserves_flits() {
+        use crate::fault::FaultPlan;
+        let mut net = mk_net(4);
+        let mesh = net.mesh();
+        // Cross traffic that saturates the centre, then kill (1,1) at cycle
+        // 8 with flits mid-flight through it.
+        let mut id = 0;
+        for src in mesh.iter_nodes() {
+            for dst in mesh.iter_nodes() {
+                if src != dst {
+                    net.inject(Packet::new(id, src, dst, PacketClass::Data, 4))
+                        .unwrap();
+                    id += 1;
+                }
+            }
+        }
+        net.install_fault_plan(FaultPlan::new().fail_router(8, Coord::new(1, 1)))
+            .unwrap();
+        net.run_until_idle(100_000).unwrap();
+        let s = net.stats();
+        assert!(s.flits_dropped > 0, "the dying router must drop traffic");
+        assert!(s.packets_dropped > 0);
+        assert_eq!(
+            s.flits_injected,
+            s.flits_ejected + s.flits_dropped,
+            "flit conservation violated"
+        );
+        assert_eq!(net.in_flight(), 0);
+        assert_eq!(net.recount_in_flight(), 0);
+        // Everything not through the dead router still arrives, detouring.
+        assert!(s.packets_delivered + s.packets_dropped == s.packets_injected);
+        assert!(s.detour_hops > 0, "surround routing must have engaged");
+    }
+
+    #[test]
+    fn inject_on_degraded_fabric_counts_dropped_endpoints() {
+        use crate::fault::FaultPlan;
+        let mut net = mk_net(4);
+        net.install_fault_plan(FaultPlan::new().fail_router(0, Coord::new(2, 2)))
+            .unwrap();
+        net.step(); // apply the event
+        assert_eq!(net.fault_state().unwrap().disabled_routers(), 1);
+        // To a dead destination: accepted, counted injected and dropped.
+        let dead_dst = packet(0, &net, 0, 0, 2, 2, 3);
+        net.inject(dead_dst).unwrap();
+        assert_eq!(net.stats().flits_dropped, 3);
+        assert_eq!(net.stats().packets_dropped, 1);
+        assert_eq!(net.in_flight(), 0);
+        // Between live endpoints: delivered as usual.
+        net.inject(packet(1, &net, 0, 0, 3, 3, 3)).unwrap();
+        net.run_until_idle(10_000).unwrap();
+        assert_eq!(net.stats().packets_delivered, 1);
+        assert_eq!(
+            net.stats().flits_injected,
+            net.stats().flits_ejected + net.stats().flits_dropped
+        );
+    }
+
+    #[test]
+    fn repair_restores_credits_and_healthy_routing() {
+        use crate::fault::FaultPlan;
+        let mut net = mk_net(4);
+        let plan = FaultPlan::new()
+            .fail_router(5, Coord::new(1, 1))
+            .fail_link(5, Coord::new(2, 2), Coord::new(3, 2))
+            .repair_router(400, Coord::new(1, 1))
+            .repair_link(400, Coord::new(2, 2), Coord::new(3, 2));
+        net.install_fault_plan(plan).unwrap();
+        let mesh = net.mesh();
+        let mut id = 0;
+        for src in mesh.iter_nodes() {
+            for dst in mesh.iter_nodes() {
+                if src != dst {
+                    net.inject(Packet::new(id, src, dst, PacketClass::Data, 2))
+                        .unwrap();
+                    id += 1;
+                }
+            }
+        }
+        net.run_until_idle(100_000).unwrap();
+        net.run(500); // past the repairs, credits land
+        assert!(!net.fault_state().unwrap().active());
+        for node in net.mesh().iter_nodes() {
+            let r = net.router(node);
+            for out in &r.outputs {
+                for &c in &out.credits {
+                    assert_eq!(c, net.config().buffer_depth, "credits corrupt at {node}");
+                }
+                assert!(out.credit_queue.is_empty());
+            }
+        }
+        // Healthy again: XY routing, full delivery, counters consistent.
+        let before = net.stats().packets_delivered;
+        net.inject(packet(id, &net, 0, 0, 3, 3, 4)).unwrap();
+        net.run_until_idle(10_000).unwrap();
+        assert_eq!(net.stats().packets_delivered, before + 1);
+        assert_eq!(net.recount_in_flight(), 0);
+    }
+
+    #[test]
     fn latency_histogram_tracks_deliveries() {
         let mut net = mk_net(4);
         for i in 0..10 {
@@ -1215,5 +1799,153 @@ mod tests {
         assert!(p99 >= net.stats().max_packet_latency);
         let p50 = h.quantile_upper_bound(0.5).unwrap();
         assert!(p50 <= p99);
+    }
+}
+
+#[cfg(test)]
+mod fault_debug {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::traffic::{TrafficGenerator, TrafficPattern};
+
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    #[test]
+    #[ignore]
+    fn hunt_midflight_deadlock() {
+        for case in 0..400u64 {
+            let mut rng = Rng(0x9E3779B97F4A7C15 ^ (case + 1));
+            let side = 4 + rng.below(4) as usize;
+            let mesh = Mesh::square(side).unwrap();
+            let nr = rng.below(3) as usize;
+            let nl = rng.below(3) as usize;
+            let routers: Vec<Coord> = (0..nr)
+                .map(|_| Coord::new(rng.below(side as u64) as u8, rng.below(side as u64) as u8))
+                .collect();
+            let links: Vec<(Coord, Coord)> = (0..nl)
+                .map(|_| {
+                    let x = rng.below(side as u64 - 1) as u8;
+                    let y = rng.below(side as u64 - 1) as u8;
+                    if rng.below(2) == 1 {
+                        (Coord::new(x, y), Coord::new(x, y + 1))
+                    } else {
+                        (Coord::new(x, y), Coord::new(x + 1, y))
+                    }
+                })
+                .collect();
+            let fail_at = 1 + rng.below(149);
+            let repair_after = 1 + rng.below(199);
+            let mut plan = FaultPlan::new();
+            for &c in &routers {
+                plan = plan.fail_router(fail_at, c);
+            }
+            for &(a, b) in &links {
+                plan = plan.fail_link(fail_at, a, b);
+            }
+            if let Some(&c) = routers.first() {
+                plan = plan.repair_router(fail_at + repair_after, c);
+            }
+            let mut net = Network::new(mesh, NocConfig::default());
+            net.set_par_threshold(1);
+            net.install_fault_plan(plan).unwrap();
+            let mut gen =
+                TrafficGenerator::new(mesh, TrafficPattern::UniformRandom, 0.12, 4, 0xC0DE + case);
+            for _ in 0..250 {
+                gen.tick(&mut net);
+                net.step();
+            }
+            if net.run_until_idle(20_000).is_err() {
+                // Give repairs a chance, then check again.
+                net.run(repair_after + 300);
+                if net.run_until_idle(20_000).is_ok() {
+                    continue;
+                }
+                eprintln!(
+                    "case {case}: side {side} routers {routers:?} links {links:?} \
+                     fail_at {fail_at} repair_after {repair_after} stuck={}",
+                    net.in_flight()
+                );
+                dump_stuck(&net);
+                panic!("deadlock reproduced in case {case}");
+            }
+        }
+    }
+
+    fn dump_stuck(net: &Network) {
+        let n = net.mesh.len();
+        for r in 0..n {
+            let router = &net.routers[r];
+            let mut lines = Vec::new();
+            for p in 0..5 {
+                for vc in 0..net.cfg.num_vcs as usize {
+                    let ivc = &router.inputs[p].vcs[vc];
+                    if !ivc.buf.is_empty() || !matches!(ivc.state, VcState::Idle) {
+                        let fronts: Vec<String> = ivc
+                            .buf
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "p{}#{} dst{} dp{}",
+                                    f.packet,
+                                    f.seq,
+                                    f.dst.index(),
+                                    f.down_phase
+                                )
+                            })
+                            .collect();
+                        lines.push(format!(
+                            "  in[{p}][{vc}] state={:?} buf={:?}",
+                            ivc.state, fronts
+                        ));
+                    }
+                }
+            }
+            for d in 0..4 {
+                let out = &router.outputs[d];
+                let owners: Vec<_> = out.vc_owner.iter().collect();
+                let credits: Vec<_> = out.credits.iter().collect();
+                if out.vc_owner.iter().any(Option::is_some)
+                    || out.credits.iter().any(|&c| c != net.cfg.buffer_depth)
+                    || !out.credit_queue.is_empty()
+                {
+                    lines.push(format!(
+                        "  out[{d}] owner={owners:?} credits={credits:?} cq={}",
+                        out.credit_queue.len()
+                    ));
+                }
+                if !net.links[r][d].is_empty() {
+                    lines.push(format!("  link[{d}] {} flits", net.links[r][d].len()));
+                }
+            }
+            if !net.nics[r].inject_queue.is_empty() {
+                lines.push(format!("  nicq {} flits", net.nics[r].inject_queue.len()));
+            }
+            if !lines.is_empty() {
+                let ok = net
+                    .faults
+                    .as_ref()
+                    .map(|d| d.state.router_enabled(r))
+                    .unwrap_or(true);
+                eprintln!(
+                    "router {r} ({:?}) live={ok} work={}",
+                    net.mesh.coord(NodeId::new(r as u16)),
+                    net.work[r]
+                );
+                for l in lines {
+                    eprintln!("{l}");
+                }
+            }
+        }
     }
 }

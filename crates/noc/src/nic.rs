@@ -77,6 +77,22 @@ impl Nic {
     pub fn open_reassemblies(&self) -> usize {
         self.reassembly.len()
     }
+
+    /// Aborts reassembly of packets condemned by fault teardown; their
+    /// remaining flits will never arrive.
+    pub fn abort_reassembly(&mut self, doomed: &std::collections::HashSet<PacketId>) {
+        self.reassembly.retain(|id, _| !doomed.contains(id));
+    }
+
+    /// Drops every queued and half-reassembled packet (router failure).
+    /// Returns the number of queued flits discarded; the activity counters
+    /// survive so windowed deltas stay monotone.
+    pub fn clear_for_fault(&mut self) -> usize {
+        let dropped = self.inject_queue.len();
+        self.inject_queue.clear();
+        self.reassembly.clear();
+        dropped
+    }
 }
 
 /// A packet that completed its journey, as reported to the application.

@@ -9,7 +9,7 @@
 //! staying fast enough for multi-million-cycle co-simulation.
 
 use crate::config::NocConfig;
-use crate::flit::Flit;
+use crate::flit::{Flit, PacketId};
 use crate::stats::RouterActivity;
 use crate::topology::{Coord, Direction};
 use std::collections::VecDeque;
@@ -25,6 +25,9 @@ pub(crate) enum VcState {
         out_dir: Direction,
         /// Flits of the packet that still have to traverse this router.
         flits_left: u32,
+        /// The packet holding the channel (needed by fault teardown to
+        /// identify streams routed into a newly failed component).
+        packet: PacketId,
     },
 }
 

@@ -169,6 +169,16 @@ pub struct NetworkStats {
     pub max_packet_latency: u64,
     /// Total flit-hops (each flit crossing each mesh link counts once).
     pub flit_hops: u64,
+    /// Flits physically removed from the network by fault teardown (never
+    /// ejected). Zero on a healthy fabric; flit conservation holds as
+    /// `flits_injected == flits_ejected + flits_dropped` once idle.
+    pub flits_dropped: u64,
+    /// Packets dropped by fault teardown (each counted once, however many
+    /// of its flits were still in flight).
+    pub packets_dropped: u64,
+    /// Route computations where surround routing chose a different output
+    /// than the healthy routing algorithm would have.
+    pub detour_hops: u64,
     /// Distribution of packet latencies.
     pub latency_histogram: LatencyHistogram,
 }
@@ -191,6 +201,9 @@ impl NetworkStats {
         self.total_packet_latency += delta.total_packet_latency;
         self.max_packet_latency = self.max_packet_latency.max(delta.max_packet_latency);
         self.flit_hops += delta.flit_hops;
+        self.flits_dropped += delta.flits_dropped;
+        self.packets_dropped += delta.packets_dropped;
+        self.detour_hops += delta.detour_hops;
         self.latency_histogram.merge(&delta.latency_histogram);
     }
 

@@ -35,6 +35,10 @@ pub const BUILTINS: &[(&str, &str)] = &[
         "Latency-vs-load saturation curve: uniform traffic on config A across the offered-load axis",
     ),
     (
+        "degraded-mesh",
+        "Degraded fabrics: uniform traffic on config A with 0/1/2 routers failed at cycle 0",
+    ),
+    (
         "smoke",
         "Seconds-fast mixed campaign (quick ldpc + traffic) for CI",
     ),
@@ -73,6 +77,8 @@ pub fn builtin(name: &str, fidelity: Fidelity) -> Option<CampaignSpec> {
         schemes: MigrationScheme::FIGURE1.to_vec(),
         periods: vec![default_period(fidelity)],
         offered_loads: vec![],
+        failed_routers: vec![],
+        failed_links: vec![],
         seeds: vec![0],
     };
     let spec = match name {
@@ -122,6 +128,25 @@ pub fn builtin(name: &str, fidelity: Fidelity) -> Option<CampaignSpec> {
                 Fidelity::Full => vec![0.02, 0.05, 0.08, 0.11, 0.14, 0.17, 0.2, 0.24],
                 Fidelity::Quick => vec![0.02, 0.06, 0.1, 0.14],
             },
+            seeds: (0..4).collect(),
+            ..base
+        },
+        "degraded-mesh" => CampaignSpec {
+            configs: vec![ChipKind::Config(ChipConfigId::A)],
+            workloads: vec![Workload::Traffic {
+                pattern: TrafficPattern::UniformRandom,
+                rate: 0.05,
+                packet_len: 4,
+                cycles: match fidelity {
+                    Fidelity::Full => 2000,
+                    Fidelity::Quick => 300,
+                },
+            }],
+            policies: vec![PolicyAxis::Baseline],
+            schemes: vec![],
+            periods: vec![],
+            // 0 is the healthy reference point of the axis.
+            failed_routers: vec![0, 1, 2],
             seeds: (0..4).collect(),
             ..base
         },
@@ -203,6 +228,19 @@ mod tests {
             .collect();
         assert_eq!(loads.len(), spec.offered_loads.len());
         assert!(jobs[0].name.contains("@l0.02"), "{}", jobs[0].name);
+    }
+
+    #[test]
+    fn degraded_mesh_sweeps_the_failure_axis() {
+        let spec = builtin("degraded-mesh", Fidelity::Quick).unwrap();
+        let jobs = spec.expand();
+        assert_eq!(jobs.len(), spec.failed_routers.len() * spec.seeds.len());
+        // The healthy point carries no fault plan; the others do.
+        assert!(jobs[0].name.contains("/fr0/"), "{}", jobs[0].name);
+        assert!(jobs[0].faults.is_empty());
+        let degraded: Vec<_> = jobs.iter().filter(|j| j.name.contains("/fr2/")).collect();
+        assert_eq!(degraded.len(), spec.seeds.len());
+        assert!(degraded.iter().all(|j| j.faults.len() == 2));
     }
 
     #[test]

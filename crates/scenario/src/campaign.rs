@@ -25,10 +25,11 @@
 
 use crate::json::Json;
 use crate::spec::{
-    fidelity_from_name, fidelity_name, scheme_from_name, scheme_name, ChipKind, Mode, Policy,
-    ScenarioSpec, Workload,
+    fidelity_from_name, fidelity_name, scheme_from_name, scheme_name, ChipKind, FaultEventSpec,
+    FaultKindSpec, Mode, Policy, ScenarioSpec, Workload,
 };
 use hotnoc_core::configs::Fidelity;
+use hotnoc_noc::Coord;
 use hotnoc_reconfig::MigrationScheme;
 use serde::{Deserialize, Serialize};
 
@@ -95,6 +96,15 @@ pub struct CampaignSpec {
     /// own rate; LDPC workloads ignore the axis. This is what drives
     /// latency-vs-load saturation curves through the campaign path.
     pub offered_loads: Vec<f64>,
+    /// Router-failure axis: every traffic workload re-runs once per listed
+    /// failure count, with that many routers disabled from cycle 0 at
+    /// deterministic, evenly-spread positions (0 = a healthy point). Empty
+    /// = healthy fabric only; LDPC workloads ignore the axis.
+    pub failed_routers: Vec<u64>,
+    /// Link-failure axis: like `failed_routers`, but disabling that many
+    /// links (spread to avoid the failed routers). Crossed with
+    /// `failed_routers` when both are non-empty.
+    pub failed_links: Vec<u64>,
     /// Seed axis: every combination runs once per listed seed.
     pub seeds: Vec<u64>,
 }
@@ -165,6 +175,40 @@ impl CampaignSpec {
                 return Err(format!("offered load {load} outside (0, 1]"));
             }
         }
+        for (axis, name) in [
+            (&self.failed_routers, "failed_routers"),
+            (&self.failed_links, "failed_links"),
+        ] {
+            for pair in axis.windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(format!("{name} must be strictly increasing"));
+                }
+            }
+        }
+        if !(self.failed_routers.is_empty() && self.failed_links.is_empty()) {
+            if !self
+                .workloads
+                .iter()
+                .any(|w| matches!(w, Workload::Traffic { .. }))
+            {
+                return Err(
+                    "failed_routers / failed_links axes need a traffic workload (faults do \
+                     not apply to the ldpc co-simulation)"
+                        .into(),
+                );
+            }
+            for c in &self.configs {
+                let side = c.mesh_side();
+                let nodes = (side * side) as u64;
+                for &count in self.failed_routers.iter().chain(&self.failed_links) {
+                    if count >= nodes {
+                        return Err(format!(
+                            "failure count {count} leaves nothing of the {side}x{side} mesh"
+                        ));
+                    }
+                }
+            }
+        }
         if self.mode == Mode::PlanCost && !self.policies.contains(&PolicyAxis::Periodic) {
             return Err("plan-cost mode needs a periodic policy entry".into());
         }
@@ -179,7 +223,7 @@ impl CampaignSpec {
 
     /// Expands the axes into the deterministic, stably-ordered job list.
     /// Job index order is the nesting order chips → workloads (→ offered
-    /// loads) → policies (schemes → periods) → seeds.
+    /// loads) → policies (schemes → periods) → fault variants → seeds.
     pub fn expand(&self) -> Vec<ScenarioSpec> {
         let mut jobs = Vec::new();
         for chip in &self.configs {
@@ -198,34 +242,80 @@ impl CampaignSpec {
                     // offered-load axis (canonical shortest-roundtrip
                     // float formatting, like the spec JSON).
                     let load_tag = load.map(|l| format!("@l{l}")).unwrap_or_default();
+                    let fault_variants = self.fault_variants(&workload, chip);
                     for policy in policies {
-                        for &axis_seed in seeds {
-                            let index = jobs.len() as u64;
-                            jobs.push(ScenarioSpec {
-                                name: format!(
-                                    "{}/w{wi}:{}{load_tag}/{}/s{axis_seed}",
-                                    chip.label(),
-                                    workload.label(),
-                                    policy.label()
-                                ),
-                                chip: chip.clone(),
-                                workload: workload.clone(),
-                                policy: policy.clone(),
-                                mode: if matches!(workload, Workload::Traffic { .. }) {
-                                    Mode::Cosim
-                                } else {
-                                    self.mode
-                                },
-                                fidelity: self.fidelity,
-                                sim_time_ms: self.sim_time_ms,
-                                seed: derive_job_seed(self.seed, axis_seed, index),
-                            });
+                        for (faults, fault_tag) in &fault_variants {
+                            for &axis_seed in seeds {
+                                let index = jobs.len() as u64;
+                                jobs.push(ScenarioSpec {
+                                    name: format!(
+                                        "{}/w{wi}:{}{load_tag}/{}{fault_tag}/s{axis_seed}",
+                                        chip.label(),
+                                        workload.label(),
+                                        policy.label()
+                                    ),
+                                    chip: chip.clone(),
+                                    workload: workload.clone(),
+                                    policy: policy.clone(),
+                                    mode: if matches!(workload, Workload::Traffic { .. }) {
+                                        Mode::Cosim
+                                    } else {
+                                        self.mode
+                                    },
+                                    fidelity: self.fidelity,
+                                    sim_time_ms: self.sim_time_ms,
+                                    faults: faults.clone(),
+                                    seed: derive_job_seed(self.seed, axis_seed, index),
+                                });
+                            }
                         }
                     }
                 }
             }
         }
         jobs
+    }
+
+    /// The fault plans one workload expands to: traffic workloads fan out
+    /// across the cross product of the router- and link-failure axes (each
+    /// count realized as a deterministic [`degraded_fabric`] plan), tagged
+    /// `/frN` / `/flM` in the job name. Healthy expansion — both axes empty
+    /// or a non-traffic workload — is a single untagged empty plan.
+    fn fault_variants(
+        &self,
+        workload: &Workload,
+        chip: &ChipKind,
+    ) -> Vec<(Vec<FaultEventSpec>, String)> {
+        if !matches!(workload, Workload::Traffic { .. })
+            || (self.failed_routers.is_empty() && self.failed_links.is_empty())
+        {
+            return vec![(Vec::new(), String::new())];
+        }
+        let side = chip.mesh_side();
+        let router_counts: &[u64] = if self.failed_routers.is_empty() {
+            &[0]
+        } else {
+            &self.failed_routers
+        };
+        let link_counts: &[u64] = if self.failed_links.is_empty() {
+            &[0]
+        } else {
+            &self.failed_links
+        };
+        let mut out = Vec::new();
+        for &fr in router_counts {
+            for &fl in link_counts {
+                let mut tag = String::new();
+                if !self.failed_routers.is_empty() {
+                    tag.push_str(&format!("/fr{fr}"));
+                }
+                if !self.failed_links.is_empty() {
+                    tag.push_str(&format!("/fl{fl}"));
+                }
+                out.push((degraded_fabric(side, fr, fl), tag));
+            }
+        }
+        out
     }
 
     /// The concrete workloads one axis entry expands to: traffic workloads
@@ -356,6 +446,19 @@ impl CampaignSpec {
                 Json::Array(self.offered_loads.iter().map(|&l| Json::Num(l)).collect()),
             ));
         }
+        // The fault axes follow the same emit-only-when-used rule.
+        if !self.failed_routers.is_empty() {
+            fields.push((
+                "failed_routers",
+                Json::Array(self.failed_routers.iter().map(|&n| Json::int(n)).collect()),
+            ));
+        }
+        if !self.failed_links.is_empty() {
+            fields.push((
+                "failed_links",
+                Json::Array(self.failed_links.iter().map(|&n| Json::int(n)).collect()),
+            ));
+        }
         fields.push((
             "seeds",
             Json::Array(self.seeds.iter().map(|&s| Json::int(s)).collect()),
@@ -427,6 +530,14 @@ impl CampaignSpec {
                 .iter()
                 .map(|l| l.as_f64().ok_or("offered load is not a finite number"))
                 .collect::<Result<_, _>>()?,
+            failed_routers: list("failed_routers")?
+                .iter()
+                .map(|n| n.as_u64().ok_or("failed_routers entry is not a count"))
+                .collect::<Result<_, _>>()?,
+            failed_links: list("failed_links")?
+                .iter()
+                .map(|n| n.as_u64().ok_or("failed_links entry is not a count"))
+                .collect::<Result<_, _>>()?,
             seeds: j
                 .req_array("seeds")?
                 .iter()
@@ -458,6 +569,63 @@ impl CampaignSpec {
         }
         format!("{h:016x}")
     }
+}
+
+/// The canonical degraded fabric for a failure-count pair: `routers`
+/// routers and `links` links taken out at cycle 0, spread deterministically
+/// over a `side`×`side` mesh so every expansion of the same campaign spec
+/// produces byte-identical fault plans.
+///
+/// Router `i` of `routers` fails node `i * n / routers` (row-major id over
+/// `n = side²` nodes). Link failures start half a side away from node 0 and
+/// walk the id space, skipping endpoints already dead (a link into a failed
+/// router would be redundant) and preferring the east edge, then north.
+pub fn degraded_fabric(side: usize, routers: u64, links: u64) -> Vec<FaultEventSpec> {
+    let n = (side * side) as u64;
+    let mut events = Vec::new();
+    let coord = |id: u64| Coord {
+        x: (id % side as u64) as u8,
+        y: (id / side as u64) as u8,
+    };
+    let mut dead = vec![false; n as usize];
+    for i in 0..routers.min(n) {
+        let id = i * n / routers;
+        dead[id as usize] = true;
+        events.push(FaultEventSpec {
+            at: 0,
+            kind: FaultKindSpec::FailRouter(coord(id)),
+        });
+    }
+    let mut placed = 0;
+    let mut cursor = (side as u64 / 2) % n;
+    let mut scanned = 0;
+    while placed < links && scanned < n {
+        let id = cursor;
+        cursor = (cursor + 1) % n;
+        scanned += 1;
+        if dead[id as usize] {
+            continue;
+        }
+        let c = coord(id);
+        // East edge first, then north: both stay in-mesh for interior
+        // nodes, and the pair is adjacent by construction.
+        let peer = if usize::from(c.x) + 1 < side {
+            Coord { x: c.x + 1, y: c.y }
+        } else if usize::from(c.y) + 1 < side {
+            Coord { x: c.x, y: c.y + 1 }
+        } else {
+            continue;
+        };
+        if dead[usize::from(peer.y) * side + usize::from(peer.x)] {
+            continue;
+        }
+        events.push(FaultEventSpec {
+            at: 0,
+            kind: FaultKindSpec::FailLink(c, peer),
+        });
+        placed += 1;
+    }
+    events
 }
 
 /// SplitMix64, the workspace's standard seed scrambler.
@@ -499,6 +667,8 @@ mod tests {
             schemes: MigrationScheme::FIGURE1.to_vec(),
             periods: vec![8, 32],
             offered_loads: vec![],
+            failed_routers: vec![],
+            failed_links: vec![],
             seeds: vec![0],
         }
     }
@@ -610,6 +780,119 @@ mod tests {
         let mut ok = sweep();
         ok.offered_loads = vec![0.05, 0.1, 0.2];
         ok.validate().expect("sorted unique loads in (0, 1]");
+    }
+
+    #[test]
+    fn fault_axes_fan_out_traffic_workloads_only() {
+        let mut spec = sweep();
+        spec.workloads.push(Workload::Traffic {
+            pattern: TrafficPattern::UniformRandom,
+            rate: 0.05,
+            packet_len: 4,
+            cycles: 100,
+        });
+        spec.seeds = vec![1, 2];
+        spec.failed_routers = vec![0, 2];
+        spec.failed_links = vec![1];
+        let jobs = spec.expand();
+        // ldpc: 5 schemes x 2 periods (seed axis collapsed, fault axes
+        // ignored); traffic: 2 router counts x 1 link count x 2 seeds.
+        assert_eq!(jobs.len(), 5 * (5 * 2 + 2 * 2));
+        let traffic: Vec<_> = jobs
+            .iter()
+            .filter(|jb| matches!(jb.workload, Workload::Traffic { .. }))
+            .collect();
+        assert_eq!(traffic.len(), 5 * 4);
+        assert!(jobs
+            .iter()
+            .filter(|jb| matches!(jb.workload, Workload::Ldpc))
+            .all(|jb| jb.faults.is_empty()));
+        // Both axes tag the name; the plan size matches the counts.
+        assert_eq!(traffic[0].name, "A/w1:traffic:uniform/baseline/fr0/fl1/s1");
+        assert_eq!(traffic[0].faults.len(), 1);
+        assert_eq!(traffic[2].name, "A/w1:traffic:uniform/baseline/fr2/fl1/s1");
+        assert_eq!(traffic[2].faults.len(), 3);
+        // Every produced job passes scenario validation (plans in-bounds).
+        for jb in &jobs {
+            jb.validate().unwrap_or_else(|e| panic!("{}: {e}", jb.name));
+        }
+        // Expansion stays a pure function and the spec round-trips.
+        assert_eq!(spec.expand(), jobs);
+        let back = CampaignSpec::parse(&spec.to_json().to_string()).expect("parses");
+        assert_eq!(back, spec);
+        assert_eq!(back.fingerprint(), spec.fingerprint());
+    }
+
+    #[test]
+    fn fault_axes_are_absent_when_unused() {
+        // Campaigns that predate the axes must keep their canonical JSON
+        // (and fingerprint) byte-for-byte.
+        let text = sweep().to_json().to_string();
+        assert!(!text.contains("failed_routers"), "{text}");
+        assert!(!text.contains("failed_links"), "{text}");
+    }
+
+    #[test]
+    fn fault_axis_validation() {
+        let traffic = Workload::Traffic {
+            pattern: TrafficPattern::UniformRandom,
+            rate: 0.05,
+            packet_len: 4,
+            cycles: 100,
+        };
+
+        let mut bad = sweep();
+        bad.failed_routers = vec![1];
+        assert!(bad.validate().is_err(), "fault axis without traffic");
+
+        let mut bad = sweep();
+        bad.workloads = vec![traffic.clone()];
+        bad.policies = vec![PolicyAxis::Baseline];
+        bad.schemes = vec![];
+        bad.periods = vec![];
+        bad.failed_routers = vec![2, 1];
+        assert!(bad.validate().is_err(), "decreasing counts");
+
+        let mut bad = sweep();
+        bad.workloads = vec![traffic.clone()];
+        bad.policies = vec![PolicyAxis::Baseline];
+        bad.schemes = vec![];
+        bad.periods = vec![];
+        // Config A is a small mesh; demanding this many dead routers
+        // leaves nothing to route through.
+        bad.failed_routers = vec![10_000];
+        assert!(bad.validate().is_err(), "count >= nodes");
+
+        let mut ok = sweep();
+        ok.workloads = vec![traffic];
+        ok.policies = vec![PolicyAxis::Baseline];
+        ok.schemes = vec![];
+        ok.periods = vec![];
+        ok.failed_routers = vec![0, 1, 2];
+        ok.failed_links = vec![0, 2];
+        ok.validate().expect("increasing counts on traffic");
+    }
+
+    #[test]
+    fn degraded_fabric_is_deterministic_and_in_bounds() {
+        let plan = degraded_fabric(4, 3, 2);
+        assert_eq!(plan, degraded_fabric(4, 3, 2), "pure function");
+        assert_eq!(plan.len(), 5);
+        assert!(plan.iter().all(|e| e.at == 0));
+        let failed: Vec<_> = plan
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKindSpec::FailRouter(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(failed.len(), 3);
+        // Link failures never touch a failed router's ports.
+        for e in &plan {
+            if let FaultKindSpec::FailLink(a, b) = e.kind {
+                assert!(!failed.contains(&a) && !failed.contains(&b), "{a:?}-{b:?}");
+            }
+        }
     }
 
     #[test]

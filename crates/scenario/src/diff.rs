@@ -319,6 +319,8 @@ mod tests {
             schemes: vec![],
             periods: vec![],
             offered_loads: vec![],
+            failed_routers: vec![],
+            failed_links: vec![],
             seeds,
         }
     }

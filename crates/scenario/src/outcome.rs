@@ -130,6 +130,14 @@ pub struct TrafficMetrics {
     pub max_latency_cycles: u64,
     /// Total flit-hops.
     pub flit_hops: u64,
+    /// Packets dropped on a degraded fabric (dead endpoints, unreachable
+    /// destinations, fault teardown). Zero on a healthy run.
+    pub packets_dropped: u64,
+    /// Flits dropped on a degraded fabric. Zero on a healthy run.
+    pub flits_dropped: u64,
+    /// Route computations where surround routing detoured away from the
+    /// healthy (XY) output. Zero on a healthy run.
+    pub detour_hops: u64,
 }
 
 /// An optional non-negative integer field: absent defaults to 0, but a
@@ -209,17 +217,32 @@ impl ScenarioOutcome {
                 ("energy_uj", Json::Num(m.energy_uj)),
                 ("moves", Json::int(m.moves)),
             ]),
-            ScenarioOutcome::Traffic(m) => Json::object(vec![
-                ("kind", Json::str("traffic")),
-                ("offered", Json::int(m.offered)),
-                ("delivered", Json::int(m.delivered)),
-                ("drained", Json::Bool(m.drained)),
-                ("mean_latency_cycles", Json::Num(m.mean_latency_cycles)),
-                ("p50_latency_cycles", Json::int(m.p50_latency_cycles)),
-                ("p95_latency_cycles", Json::int(m.p95_latency_cycles)),
-                ("max_latency_cycles", Json::int(m.max_latency_cycles)),
-                ("flit_hops", Json::int(m.flit_hops)),
-            ]),
+            ScenarioOutcome::Traffic(m) => {
+                let mut fields = vec![
+                    ("kind", Json::str("traffic")),
+                    ("offered", Json::int(m.offered)),
+                    ("delivered", Json::int(m.delivered)),
+                    ("drained", Json::Bool(m.drained)),
+                    ("mean_latency_cycles", Json::Num(m.mean_latency_cycles)),
+                    ("p50_latency_cycles", Json::int(m.p50_latency_cycles)),
+                    ("p95_latency_cycles", Json::int(m.p95_latency_cycles)),
+                    ("max_latency_cycles", Json::int(m.max_latency_cycles)),
+                    ("flit_hops", Json::int(m.flit_hops)),
+                ];
+                // Fault counters are emitted only when non-zero, so healthy
+                // traffic outcomes keep their exact pre-fault JSON (and
+                // campaign artifacts their bytes).
+                if m.packets_dropped != 0 {
+                    fields.push(("packets_dropped", Json::int(m.packets_dropped)));
+                }
+                if m.flits_dropped != 0 {
+                    fields.push(("flits_dropped", Json::int(m.flits_dropped)));
+                }
+                if m.detour_hops != 0 {
+                    fields.push(("detour_hops", Json::int(m.detour_hops)));
+                }
+                Json::object(fields)
+            }
         }
     }
 
@@ -273,6 +296,11 @@ impl ScenarioOutcome {
                 p95_latency_cycles: opt_u64(j, "p95_latency_cycles")?,
                 max_latency_cycles: j.req_u64("max_latency_cycles")?,
                 flit_hops: j.req_u64("flit_hops")?,
+                // Optional with a 0 default: absent on healthy runs (and on
+                // every outcome archived before fault injection existed).
+                packets_dropped: opt_u64(j, "packets_dropped")?,
+                flits_dropped: opt_u64(j, "flits_dropped")?,
+                detour_hops: opt_u64(j, "detour_hops")?,
             })),
             other => Err(format!("unknown outcome kind {other:?}")),
         }
@@ -299,15 +327,22 @@ impl ScenarioOutcome {
                 "phases {}  stall {:.2} us  hops {}  energy {:.2} uJ  moves {}",
                 m.phases, m.stall_us, m.flit_hops, m.energy_uj, m.moves
             ),
-            ScenarioOutcome::Traffic(m) => format!(
-                "delivered {}/{}  mean latency {:.1} cyc  p95 <{}  max {}  drained {}",
-                m.delivered,
-                m.offered,
-                m.mean_latency_cycles,
-                m.p95_latency_cycles,
-                m.max_latency_cycles,
-                m.drained
-            ),
+            ScenarioOutcome::Traffic(m) => {
+                let faults = if m.packets_dropped > 0 || m.detour_hops > 0 {
+                    format!("  dropped {}  detours {}", m.packets_dropped, m.detour_hops)
+                } else {
+                    String::new()
+                };
+                format!(
+                    "delivered {}/{}  mean latency {:.1} cyc  p95 <{}  max {}  drained {}{faults}",
+                    m.delivered,
+                    m.offered,
+                    m.mean_latency_cycles,
+                    m.p95_latency_cycles,
+                    m.max_latency_cycles,
+                    m.drained
+                )
+            }
         }
     }
 }
@@ -354,6 +389,22 @@ mod tests {
                 p95_latency_cycles: 32,
                 max_latency_cycles: 44,
                 flit_hops: 9000,
+                packets_dropped: 0,
+                flits_dropped: 0,
+                detour_hops: 0,
+            }),
+            ScenarioOutcome::Traffic(TrafficMetrics {
+                offered: 640,
+                delivered: 601,
+                drained: true,
+                mean_latency_cycles: 19.2,
+                p50_latency_cycles: 16,
+                p95_latency_cycles: 64,
+                max_latency_cycles: 131,
+                flit_hops: 11200,
+                packets_dropped: 39,
+                flits_dropped: 117,
+                detour_hops: 420,
             }),
         ]
     }
@@ -390,6 +441,25 @@ mod tests {
             "\"drained\": true, \"p95_latency_cycles\": \"x\",",
         );
         assert!(ScenarioOutcome::from_json(&Json::parse(&bad).expect("parses")).is_err());
+    }
+
+    #[test]
+    fn fault_counters_are_absent_when_zero() {
+        // Healthy traffic outcomes must keep their exact pre-fault JSON so
+        // archived campaign artifacts stay byte-identical.
+        let healthy = &outcomes()[3];
+        let text = healthy.to_json().to_string();
+        for key in ["packets_dropped", "flits_dropped", "detour_hops"] {
+            assert!(!text.contains(key), "{key} leaked into {text}");
+        }
+        let degraded = &outcomes()[4];
+        let text = degraded.to_json().to_string();
+        for key in ["packets_dropped", "flits_dropped", "detour_hops"] {
+            assert!(text.contains(key), "{key} missing from {text}");
+        }
+        assert!(degraded.summary().contains("dropped 39"));
+        assert!(degraded.summary().contains("detours 420"));
+        assert!(!healthy.summary().contains("dropped"));
     }
 
     #[test]

@@ -167,6 +167,9 @@ fn run_traffic(
 ) -> Result<ScenarioOutcome, ScenarioError> {
     let mesh = Mesh::square(spec.chip.mesh_side())?;
     let mut net = Network::new(mesh, NocConfig::default());
+    if !spec.faults.is_empty() {
+        net.install_fault_plan(crate::spec::fault_plan_of(&spec.faults))?;
+    }
     let mut gen = TrafficGenerator::new(mesh, pattern, rate, packet_len, spec.seed);
     let budget = cycles.saturating_mul(DRAIN_BUDGET_PER_CYCLE) + DRAIN_BUDGET_FLOOR;
     let (offered, drained) = gen.run(&mut net, cycles, budget);
@@ -180,6 +183,9 @@ fn run_traffic(
         p95_latency_cycles: stats.latency_quantile_upper(0.95).unwrap_or(0),
         max_latency_cycles: stats.max_packet_latency,
         flit_hops: stats.flit_hops,
+        packets_dropped: stats.packets_dropped,
+        flits_dropped: stats.flits_dropped,
+        detour_hops: stats.detour_hops,
     }))
 }
 
@@ -204,6 +210,7 @@ mod tests {
             mode: Mode::Cosim,
             fidelity: Fidelity::Quick,
             sim_time_ms: None,
+            faults: vec![],
             seed,
         }
     }
@@ -242,6 +249,7 @@ mod tests {
             mode: Mode::PlanCost,
             fidelity: Fidelity::Quick,
             sim_time_ms: None,
+            faults: vec![],
             seed: 0,
         };
         let out = run_scenario(&spec).unwrap();
@@ -275,6 +283,7 @@ mod tests {
             mode: Mode::Cosim,
             fidelity: Fidelity::Quick,
             sim_time_ms: None,
+            faults: vec![],
             seed: 0,
         };
         let out = run_scenario(&spec).unwrap();

@@ -589,6 +589,8 @@ mod tests {
             schemes: vec![],
             periods: vec![],
             offered_loads: vec![],
+            failed_routers: vec![],
+            failed_links: vec![],
             seeds: vec![1, 2, 3],
         }
     }

@@ -10,7 +10,7 @@
 
 use crate::json::Json;
 use hotnoc_core::configs::{ChipConfigId, ChipSpec, Fidelity};
-use hotnoc_noc::{Coord, TrafficPattern};
+use hotnoc_noc::{Coord, FaultPlan, Mesh, TrafficPattern};
 use hotnoc_reconfig::MigrationScheme;
 use serde::{Deserialize, Serialize};
 
@@ -225,6 +225,109 @@ impl Workload {
     }
 }
 
+/// One scheduled fault event of a scenario's fault plan. Events fire at
+/// the start of the named cycle, before any flit moves that cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEventSpec {
+    /// Cycle the event fires.
+    pub at: u64,
+    /// What fails (or comes back).
+    pub kind: FaultKindSpec,
+}
+
+/// The component a [`FaultEventSpec`] disables or repairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKindSpec {
+    /// Disable the router (and every link touching it).
+    FailRouter(Coord),
+    /// Re-enable a previously failed router.
+    RepairRouter(Coord),
+    /// Disable the bidirectional link between two adjacent routers.
+    FailLink(Coord, Coord),
+    /// Re-enable a previously failed link.
+    RepairLink(Coord, Coord),
+}
+
+fn coord_to_json(c: Coord) -> Json {
+    Json::Array(vec![Json::int(u64::from(c.x)), Json::int(u64::from(c.y))])
+}
+
+fn coord_from_json(j: &Json) -> Result<Coord, String> {
+    let pair = j
+        .as_array()
+        .ok_or("fault coordinate is not an [x, y] pair")?;
+    if pair.len() != 2 {
+        return Err("fault coordinate is not an [x, y] pair".to_string());
+    }
+    let axis = |v: &Json| {
+        v.as_u64()
+            .filter(|&c| c < 256)
+            .ok_or("fault coordinate component is not an integer in 0..256".to_string())
+    };
+    Ok(Coord::new(axis(&pair[0])? as u8, axis(&pair[1])? as u8))
+}
+
+impl FaultEventSpec {
+    pub(crate) fn to_json(self) -> Json {
+        let mut fields = vec![("at", Json::int(self.at))];
+        match self.kind {
+            FaultKindSpec::FailRouter(c) => fields.push(("fail_router", coord_to_json(c))),
+            FaultKindSpec::RepairRouter(c) => fields.push(("repair_router", coord_to_json(c))),
+            FaultKindSpec::FailLink(a, b) => fields.push((
+                "fail_link",
+                Json::Array(vec![coord_to_json(a), coord_to_json(b)]),
+            )),
+            FaultKindSpec::RepairLink(a, b) => fields.push((
+                "repair_link",
+                Json::Array(vec![coord_to_json(a), coord_to_json(b)]),
+            )),
+        }
+        Json::object(fields)
+    }
+
+    pub(crate) fn from_json(j: &Json) -> Result<FaultEventSpec, String> {
+        let at = j.req_u64("at")?;
+        let link = |j: &Json| -> Result<(Coord, Coord), String> {
+            let pair = j.as_array().ok_or("fault link is not an [a, b] pair")?;
+            if pair.len() != 2 {
+                return Err("fault link is not an [a, b] pair".to_string());
+            }
+            Ok((coord_from_json(&pair[0])?, coord_from_json(&pair[1])?))
+        };
+        let kind = if let Some(c) = j.get("fail_router") {
+            FaultKindSpec::FailRouter(coord_from_json(c)?)
+        } else if let Some(c) = j.get("repair_router") {
+            FaultKindSpec::RepairRouter(coord_from_json(c)?)
+        } else if let Some(l) = j.get("fail_link") {
+            let (a, b) = link(l)?;
+            FaultKindSpec::FailLink(a, b)
+        } else if let Some(l) = j.get("repair_link") {
+            let (a, b) = link(l)?;
+            FaultKindSpec::RepairLink(a, b)
+        } else {
+            return Err(
+                "fault event needs one of fail_router / repair_router / fail_link / repair_link"
+                    .into(),
+            );
+        };
+        Ok(FaultEventSpec { at, kind })
+    }
+}
+
+/// Builds the runtime [`FaultPlan`] a list of fault events describes.
+pub fn fault_plan_of(events: &[FaultEventSpec]) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for e in events {
+        plan = match e.kind {
+            FaultKindSpec::FailRouter(c) => plan.fail_router(e.at, c),
+            FaultKindSpec::RepairRouter(c) => plan.repair_router(e.at, c),
+            FaultKindSpec::FailLink(a, b) => plan.fail_link(e.at, a, b),
+            FaultKindSpec::RepairLink(a, b) => plan.repair_link(e.at, a, b),
+        };
+    }
+    plan
+}
+
 /// The migration policy applied while the workload runs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Policy {
@@ -337,6 +440,9 @@ pub struct ScenarioSpec {
     /// Optional horizon override: total simulated time in milliseconds
     /// (warm-up is half). `None` uses the fidelity default.
     pub sim_time_ms: Option<f64>,
+    /// Scheduled router/link failures and repairs applied while the
+    /// workload runs (traffic workloads only; empty = healthy fabric).
+    pub faults: Vec<FaultEventSpec>,
     /// RNG seed (drives traffic generation; campaign expansion derives it
     /// from the campaign seed and job index).
     pub seed: u64,
@@ -355,6 +461,14 @@ impl ScenarioSpec {
         ];
         if let Some(ms) = self.sim_time_ms {
             fields.push(("sim_time_ms", Json::Num(ms)));
+        }
+        if !self.faults.is_empty() {
+            // Emitted only when present, so healthy specs (and their
+            // campaign fingerprints) keep their exact pre-fault JSON.
+            fields.push((
+                "faults",
+                Json::Array(self.faults.iter().map(|e| e.to_json()).collect()),
+            ));
         }
         fields.push(("seed", Json::int(self.seed)));
         Json::object(fields)
@@ -377,6 +491,15 @@ impl ScenarioSpec {
             sim_time_ms: match j.get("sim_time_ms") {
                 None => None,
                 Some(v) => Some(v.as_f64().ok_or("sim_time_ms is not a finite number")?),
+            },
+            faults: match j.get("faults") {
+                None => Vec::new(),
+                Some(v) => v
+                    .as_array()
+                    .ok_or("faults is not an array")?
+                    .iter()
+                    .map(FaultEventSpec::from_json)
+                    .collect::<Result<_, _>>()?,
             },
             seed: j.req_u64("seed")?,
         };
@@ -430,6 +553,20 @@ impl ScenarioSpec {
         }
         if self.mode == Mode::PlanCost && !matches!(self.policy, Policy::Periodic { .. }) {
             return Err("plan-cost mode requires a periodic policy".into());
+        }
+        if !self.faults.is_empty() {
+            if !matches!(self.workload, Workload::Traffic { .. }) {
+                return Err(
+                    "fault plans only apply to traffic workloads (the ldpc co-simulation \
+                     models a healthy fabric)"
+                        .into(),
+                );
+            }
+            let side = self.chip.mesh_side();
+            let mesh = Mesh::square(side).map_err(|e| e.to_string())?;
+            fault_plan_of(&self.faults)
+                .validate(mesh)
+                .map_err(|e| e.to_string())?;
         }
         if let Some(ms) = self.sim_time_ms {
             if !(ms > 0.0 && ms <= 10_000.0) {
@@ -593,6 +730,7 @@ mod tests {
             mode: Mode::Cosim,
             fidelity: Fidelity::Quick,
             sim_time_ms: None,
+            faults: vec![],
             seed: 7,
         }
     }
@@ -609,6 +747,7 @@ mod tests {
             mode: Mode::Cosim,
             fidelity: Fidelity::Quick,
             sim_time_ms: Some(6.0),
+            faults: vec![],
             seed: 1,
         }
     }
@@ -637,6 +776,7 @@ mod tests {
             mode: Mode::Cosim,
             fidelity: Fidelity::Quick,
             sim_time_ms: None,
+            faults: vec![],
             seed: 0,
         };
         let text = spec.to_json().to_string();

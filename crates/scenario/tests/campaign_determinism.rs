@@ -49,6 +49,8 @@ fn forty_eight_jobs(name: &str) -> CampaignSpec {
         schemes: vec![],
         periods: vec![],
         offered_loads: vec![],
+        failed_routers: vec![],
+        failed_links: vec![],
         seeds: (0..8).collect(),
     };
     assert_eq!(spec.expand().len(), 48, "test campaign must have 48 jobs");
@@ -197,6 +199,72 @@ fn latency_load_builtin_is_byte_identical_across_threads_and_resume() {
         std::fs::read(resumed.aggregate_path.as_ref().unwrap()).unwrap(),
         artifacts[0].1,
         "resumed latency-load aggregate diverged"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn degraded_mesh_builtin_is_byte_identical_across_threads_and_resume() {
+    // The fault-axis campaign runs the same traffic with 0/1/2 routers
+    // failed at cycle 0; surround routing and drop accounting must stay as
+    // deterministic as the healthy path, so the CAMPAIGN json and the
+    // aggregate artifact come out byte-identical at 1 and 4 threads and
+    // across a kill/resume boundary.
+    let spec =
+        hotnoc_scenario::builtin::builtin("degraded-mesh", Fidelity::Quick).expect("known builtin");
+
+    let mut artifacts: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    for threads in [1usize, 4] {
+        let dir = tmp_dir(&format!("degraded-t{threads}"));
+        let run = run_campaign(&spec, &opts(&dir, threads)).expect("campaign runs");
+        assert!(run.is_complete());
+        assert_eq!(run.total_jobs, 12);
+        let campaign = std::fs::read(run.json_path.as_ref().expect("artifact")).unwrap();
+        parse_campaign_document(std::str::from_utf8(&campaign).expect("utf8")).expect("validates");
+        let aggregate =
+            std::fs::read(run.aggregate_path.as_ref().expect("aggregate artifact")).unwrap();
+        artifacts.push((campaign, aggregate));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(
+        artifacts[0].0, artifacts[1].0,
+        "CAMPAIGN_degraded-mesh.json differs between 1 and 4 threads"
+    );
+    assert_eq!(
+        artifacts[0].1, artifacts[1].1,
+        "degraded-mesh aggregate differs between 1 and 4 threads"
+    );
+    // Degraded jobs really did drop or detour traffic (the axis is live).
+    let text = std::str::from_utf8(&artifacts[0].0).unwrap();
+    assert!(text.contains("/fr2/"), "fault tag missing from job names");
+    assert!(
+        text.contains("packets_dropped") || text.contains("detour_hops"),
+        "no fault counters in any degraded outcome"
+    );
+
+    // Kill after 4 jobs at t4, resume at t1: same bytes as uninterrupted.
+    let dir = tmp_dir("degraded-resume");
+    let partial = run_campaign(
+        &spec,
+        &RunnerOptions {
+            max_jobs: Some(4),
+            ..opts(&dir, 4)
+        },
+    )
+    .expect("partial run");
+    assert!(!partial.is_complete());
+    let resumed = run_campaign(&spec, &opts(&dir, 1)).expect("resume");
+    assert!(resumed.is_complete());
+    assert_eq!(resumed.resumed_jobs, 4);
+    assert_eq!(
+        std::fs::read(resumed.json_path.as_ref().unwrap()).unwrap(),
+        artifacts[0].0,
+        "resumed degraded-mesh artifact diverged"
+    );
+    assert_eq!(
+        std::fs::read(resumed.aggregate_path.as_ref().unwrap()).unwrap(),
+        artifacts[0].1,
+        "resumed degraded-mesh aggregate diverged"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -36,6 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         schemes: vec![MigrationScheme::XYShift, MigrationScheme::Rotation],
         periods: vec![8, 32],
         offered_loads: vec![],
+        failed_routers: vec![],
+        failed_links: vec![],
         seeds: vec![1, 2, 3],
     };
     println!("expanding {} jobs:", spec.expand().len());
