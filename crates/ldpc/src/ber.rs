@@ -7,7 +7,7 @@
 
 use crate::channel::AwgnChannel;
 use crate::code::LdpcCode;
-use crate::decoder::DecodeOutcome;
+use crate::decoder::{DecodeStatus, DecoderWorkspace};
 use crate::encoder::Encoder;
 use crate::error::LdpcError;
 use rand::rngs::StdRng;
@@ -30,8 +30,11 @@ pub struct BerPoint {
 }
 
 /// Measures FER/BER of `decode` over an SNR sweep with `trials` frames per
-/// point. The decoder is any closure from LLRs to a [`DecodeOutcome`]
-/// (min-sum, sum-product, layered, ...).
+/// point. The decoder is any closure from LLRs and a shared
+/// [`DecoderWorkspace`] to a [`DecodeStatus`] (min-sum, sum-product,
+/// layered, ...) — the harness owns one workspace and threads it through
+/// every frame, so the whole sweep decodes without per-block allocations;
+/// hard decisions are read back from [`DecoderWorkspace::bits`].
 ///
 /// # Errors
 ///
@@ -44,10 +47,11 @@ pub fn waterfall<F>(
     mut decode: F,
 ) -> Result<Vec<BerPoint>, LdpcError>
 where
-    F: FnMut(&LdpcCode, &[f64]) -> DecodeOutcome,
+    F: FnMut(&LdpcCode, &[f64], &mut DecoderWorkspace) -> DecodeStatus,
 {
     let encoder = Encoder::new(code)?;
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut ws = DecoderWorkspace::for_code(code);
     let mut points = Vec::with_capacity(snrs_db.len());
     for (si, &snr) in snrs_db.iter().enumerate() {
         let mut chan = AwgnChannel::new(snr, code.rate(), seed ^ (si as u64) << 32);
@@ -58,9 +62,9 @@ where
             let msg: Vec<bool> = (0..encoder.k()).map(|_| rng.gen()).collect();
             let word = encoder.encode(&msg)?;
             let llrs = chan.transmit(&word);
-            let out = decode(code, &llrs);
+            let out = decode(code, &llrs, &mut ws);
             iterations += out.iterations;
-            let errs = out.bits.iter().zip(&word).filter(|(a, b)| a != b).count();
+            let errs = ws.bits().iter().zip(&word).filter(|(a, b)| a != b).count();
             if errs > 0 || !out.converged {
                 frame_errors += 1;
                 bit_errors += errs;
@@ -87,7 +91,10 @@ mod tests {
     fn waterfall_improves_with_snr() {
         let code = LdpcCode::gallager(240, 3, 6, 3).unwrap();
         let dec = MinSumDecoder::default();
-        let points = waterfall(&code, &[1.0, 4.5], 30, 7, |c, l| dec.decode(c, l)).unwrap();
+        let points = waterfall(&code, &[1.0, 4.5], 30, 7, |c, l, ws| {
+            dec.decode_with(c, l, ws)
+        })
+        .unwrap();
         assert_eq!(points.len(), 2);
         assert!(
             points[1].fer < points[0].fer,
@@ -107,7 +114,7 @@ mod tests {
     fn ber_bounded_by_fer() {
         let code = LdpcCode::gallager(120, 3, 6, 1).unwrap();
         let dec = LayeredMinSumDecoder::default();
-        let points = waterfall(&code, &[2.0], 25, 3, |c, l| dec.decode(c, l)).unwrap();
+        let points = waterfall(&code, &[2.0], 25, 3, |c, l, ws| dec.decode_with(c, l, ws)).unwrap();
         for p in points {
             assert!(p.ber <= p.fer + 1e-12, "BER {} above FER {}", p.ber, p.fer);
         }
@@ -117,8 +124,8 @@ mod tests {
     fn deterministic_per_seed() {
         let code = LdpcCode::gallager(120, 3, 6, 1).unwrap();
         let dec = MinSumDecoder::default();
-        let a = waterfall(&code, &[2.5], 10, 9, |c, l| dec.decode(c, l)).unwrap();
-        let b = waterfall(&code, &[2.5], 10, 9, |c, l| dec.decode(c, l)).unwrap();
+        let a = waterfall(&code, &[2.5], 10, 9, |c, l, ws| dec.decode_with(c, l, ws)).unwrap();
+        let b = waterfall(&code, &[2.5], 10, 9, |c, l, ws| dec.decode_with(c, l, ws)).unwrap();
         assert_eq!(a, b);
     }
 }

@@ -7,7 +7,7 @@
 //! throughput-constrained decoders, included here as an extension.
 
 use crate::code::LdpcCode;
-use crate::decoder::DecodeOutcome;
+use crate::decoder::{min_sum_check, DecodeOutcome, DecodeStatus, DecoderWorkspace};
 use crate::error::LdpcError;
 use serde::{Deserialize, Serialize};
 
@@ -46,65 +46,89 @@ impl LayeredMinSumDecoder {
     ///
     /// Returns [`LdpcError::LlrLengthMismatch`] on a wrong-sized input.
     pub fn try_decode(&self, code: &LdpcCode, llrs: &[f64]) -> Result<DecodeOutcome, LdpcError> {
+        let mut ws = DecoderWorkspace::new();
+        let status = self.try_decode_with(code, llrs, &mut ws)?;
+        let DecodeStatus {
+            converged,
+            iterations,
+        } = status;
+        Ok(DecodeOutcome {
+            bits: ws.bits().to_vec(),
+            converged,
+            iterations,
+        })
+    }
+
+    /// Decodes into `ws`, reusing its buffers (zero allocations once `ws`
+    /// has seen the code). Bits land in [`DecoderWorkspace::bits`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llrs.len() != code.n()`.
+    pub fn decode_with(
+        &self,
+        code: &LdpcCode,
+        llrs: &[f64],
+        ws: &mut DecoderWorkspace,
+    ) -> DecodeStatus {
+        self.try_decode_with(code, llrs, ws)
+            .expect("llr length mismatch")
+    }
+
+    /// Fallible [`LayeredMinSumDecoder::decode_with`]: the serial-C sweep
+    /// over the workspace's flattened CSR edge arrays. Each check row peels
+    /// its previous contribution off the live posterior, runs the min-sum
+    /// update in place, and refreshes the posterior immediately (the
+    /// "layered" part).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LdpcError::LlrLengthMismatch`] on a wrong-sized input.
+    pub fn try_decode_with(
+        &self,
+        code: &LdpcCode,
+        llrs: &[f64],
+        ws: &mut DecoderWorkspace,
+    ) -> Result<DecodeStatus, LdpcError> {
         if llrs.len() != code.n() {
             return Err(LdpcError::LlrLengthMismatch {
                 expected: code.n(),
                 got: llrs.len(),
             });
         }
+        ws.prepare(code);
         let m = code.m();
-        let mut chk_msgs: Vec<Vec<f64>> =
-            (0..m).map(|r| vec![0.0; code.h().row(r).len()]).collect();
-        let mut posterior: Vec<f64> = llrs.to_vec();
-        let mut bits: Vec<bool> = llrs.iter().map(|&l| l < 0.0).collect();
-        let mut converged = code.is_codeword(&bits);
+        ws.chk_to_var.fill(0.0);
+        ws.posterior.copy_from_slice(llrs);
+        for (b, &l) in ws.bits.iter_mut().zip(llrs) {
+            *b = l < 0.0;
+        }
+        let mut converged = ws.syndrome_is_zero();
         let mut iterations = 0;
 
-        let mut extrinsic: Vec<f64> = Vec::new();
         while !converged && iterations < self.max_iters {
             iterations += 1;
-            for (r, msgs) in chk_msgs.iter_mut().enumerate() {
-                let row = code.h().row(r);
-                extrinsic.clear();
+            for r in 0..m {
+                let (lo, hi) = (ws.row_ptr[r] as usize, ws.row_ptr[r + 1] as usize);
+                let deg = hi - lo;
                 // Peel off this check's previous contribution.
-                for (k, &v) in row.iter().enumerate() {
-                    extrinsic.push(posterior[v] - msgs[k]);
+                for k in 0..deg {
+                    ws.scratch_q[k] =
+                        ws.posterior[ws.col_idx[lo + k] as usize] - ws.chk_to_var[lo + k];
                 }
-                // Min-sum over the live extrinsics.
-                let (mut min1, mut min2) = (f64::INFINITY, f64::INFINITY);
-                let mut min_idx = 0;
-                let mut sign = 1.0f64;
-                for (k, &q) in extrinsic.iter().enumerate() {
-                    if q < 0.0 {
-                        sign = -sign;
-                    }
-                    let mag = q.abs();
-                    if mag < min1 {
-                        min2 = min1;
-                        min1 = mag;
-                        min_idx = k;
-                    } else if mag < min2 {
-                        min2 = mag;
-                    }
-                }
-                // Write back new messages and refresh the posterior
-                // immediately (the "layered" part).
-                for (k, &v) in row.iter().enumerate() {
-                    let mag = if k == min_idx { min2 } else { min1 };
-                    let self_sign = if extrinsic[k] < 0.0 { -1.0 } else { 1.0 };
-                    let msg = self.alpha * sign * self_sign * mag;
-                    msgs[k] = msg;
-                    posterior[v] = extrinsic[k] + msg;
+                min_sum_check(&ws.scratch_q[..deg], &mut ws.chk_to_var[lo..hi], self.alpha);
+                for k in 0..deg {
+                    ws.posterior[ws.col_idx[lo + k] as usize] =
+                        ws.scratch_q[k] + ws.chk_to_var[lo + k];
                 }
             }
-            for (b, &p) in bits.iter_mut().zip(&posterior) {
+            for (b, &p) in ws.bits.iter_mut().zip(&ws.posterior) {
                 *b = p < 0.0;
             }
-            converged = code.is_codeword(&bits);
+            converged = ws.syndrome_is_zero();
         }
 
-        Ok(DecodeOutcome {
-            bits,
+        Ok(DecodeStatus {
             converged,
             iterations: iterations.max(1),
         })

@@ -47,7 +47,9 @@ pub mod matrix;
 pub mod schedule;
 
 pub use code::LdpcCode;
-pub use decoder::{DecodeOutcome, MinSumDecoder, SumProductDecoder};
+pub use decoder::{
+    DecodeOutcome, DecodeStatus, DecoderWorkspace, MinSumDecoder, SumProductDecoder,
+};
 pub use encoder::Encoder;
 pub use error::LdpcError;
 pub use layered::LayeredMinSumDecoder;

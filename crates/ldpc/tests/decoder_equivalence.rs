@@ -1,0 +1,317 @@
+//! Flattened-decoder equivalence battery: the CSR/workspace decoders must
+//! reproduce the seed's `Vec<Vec<f64>>` message-passing implementations
+//! **bit for bit** — identical hard decisions, convergence flags, and
+//! iteration counts on random codes and random channel observations.
+//!
+//! The reference implementations below are verbatim transcriptions of the
+//! pre-flattening decode loops (flooding min-sum, flooding sum-product, and
+//! layered min-sum), kept here as the executable specification the
+//! optimized edge-array decoders are checked against. The flattened code
+//! preserves floating-point operation order by construction — each
+//! variable's CSC edge list is in ascending check-row order, matching the
+//! seed's row-major posterior accumulation — so the comparison is exact
+//! equality, not approximate.
+
+use hotnoc_ldpc::channel::AwgnChannel;
+use hotnoc_ldpc::{
+    DecodeOutcome, DecoderWorkspace, Encoder, LayeredMinSumDecoder, LdpcCode, MinSumDecoder,
+    SumProductDecoder,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// --- Seed-algorithm reference implementations -----------------------------
+
+fn ref_min_sum_check(inputs: &[f64], out: &mut [f64], alpha: f64) {
+    let deg = inputs.len();
+    let mut sign_product = 1.0f64;
+    let (mut min1, mut min2) = (f64::INFINITY, f64::INFINITY);
+    let mut min_idx = 0;
+    for (i, &v) in inputs.iter().enumerate() {
+        if v < 0.0 {
+            sign_product = -sign_product;
+        }
+        let mag = v.abs();
+        if mag < min1 {
+            min2 = min1;
+            min1 = mag;
+            min_idx = i;
+        } else if mag < min2 {
+            min2 = mag;
+        }
+    }
+    for i in 0..deg {
+        let mag = if i == min_idx { min2 } else { min1 };
+        let self_sign = if inputs[i] < 0.0 { -1.0 } else { 1.0 };
+        out[i] = alpha * sign_product * self_sign * mag;
+    }
+}
+
+fn ref_sum_product_check(inputs: &[f64], out: &mut [f64]) {
+    let clamp = |x: f64| x.clamp(-30.0, 30.0);
+    let tanhs: Vec<f64> = inputs.iter().map(|&v| (clamp(v) / 2.0).tanh()).collect();
+    for (i, o) in out.iter_mut().enumerate() {
+        let mut prod = 1.0;
+        for (j, &t) in tanhs.iter().enumerate() {
+            if j != i {
+                prod *= t;
+            }
+        }
+        let prod = prod.clamp(-0.999_999_999, 0.999_999_999);
+        *o = 2.0 * prod.atanh();
+    }
+}
+
+/// The seed's flooding decode loop over per-row `Vec<Vec<f64>>` storage.
+fn ref_decode_flooding<F>(
+    code: &LdpcCode,
+    llrs: &[f64],
+    max_iters: usize,
+    mut check_update: F,
+) -> DecodeOutcome
+where
+    F: FnMut(&[f64], &mut [f64]),
+{
+    assert_eq!(llrs.len(), code.n());
+    let m = code.m();
+    let mut chk_to_var: Vec<Vec<f64>> = (0..m).map(|r| vec![0.0; code.h().row(r).len()]).collect();
+    let mut var_to_chk: Vec<Vec<f64>> = chk_to_var.clone();
+    let mut posterior: Vec<f64> = llrs.to_vec();
+    let mut bits: Vec<bool> = llrs.iter().map(|&l| l < 0.0).collect();
+
+    let mut iterations = 0;
+    let mut converged = code.is_codeword(&bits);
+    while !converged && iterations < max_iters {
+        iterations += 1;
+        for r in 0..m {
+            for (k, &v) in code.h().row(r).iter().enumerate() {
+                var_to_chk[r][k] = posterior[v] - chk_to_var[r][k];
+            }
+        }
+        let mut scratch = Vec::new();
+        for (vt, ct) in var_to_chk.iter().zip(chk_to_var.iter_mut()) {
+            scratch.clear();
+            scratch.extend_from_slice(vt);
+            check_update(&scratch, ct);
+        }
+        posterior.copy_from_slice(llrs);
+        for (r, ct) in chk_to_var.iter().enumerate() {
+            for (k, &v) in code.h().row(r).iter().enumerate() {
+                posterior[v] += ct[k];
+            }
+        }
+        for (b, &p) in bits.iter_mut().zip(&posterior) {
+            *b = p < 0.0;
+        }
+        converged = code.is_codeword(&bits);
+    }
+
+    DecodeOutcome {
+        bits,
+        converged,
+        iterations: iterations.max(1),
+    }
+}
+
+/// The seed's layered (serial-C) decode loop.
+fn ref_decode_layered(
+    code: &LdpcCode,
+    llrs: &[f64],
+    max_iters: usize,
+    alpha: f64,
+) -> DecodeOutcome {
+    assert_eq!(llrs.len(), code.n());
+    let m = code.m();
+    let mut chk_msgs: Vec<Vec<f64>> = (0..m).map(|r| vec![0.0; code.h().row(r).len()]).collect();
+    let mut posterior: Vec<f64> = llrs.to_vec();
+    let mut bits: Vec<bool> = llrs.iter().map(|&l| l < 0.0).collect();
+    let mut converged = code.is_codeword(&bits);
+    let mut iterations = 0;
+
+    let mut extrinsic: Vec<f64> = Vec::new();
+    while !converged && iterations < max_iters {
+        iterations += 1;
+        for (r, msgs) in chk_msgs.iter_mut().enumerate() {
+            let row = code.h().row(r);
+            extrinsic.clear();
+            for (k, &v) in row.iter().enumerate() {
+                extrinsic.push(posterior[v] - msgs[k]);
+            }
+            let (mut min1, mut min2) = (f64::INFINITY, f64::INFINITY);
+            let mut min_idx = 0;
+            let mut sign = 1.0f64;
+            for (k, &q) in extrinsic.iter().enumerate() {
+                if q < 0.0 {
+                    sign = -sign;
+                }
+                let mag = q.abs();
+                if mag < min1 {
+                    min2 = min1;
+                    min1 = mag;
+                    min_idx = k;
+                } else if mag < min2 {
+                    min2 = mag;
+                }
+            }
+            for (k, &v) in row.iter().enumerate() {
+                let mag = if k == min_idx { min2 } else { min1 };
+                let self_sign = if extrinsic[k] < 0.0 { -1.0 } else { 1.0 };
+                let msg = alpha * sign * self_sign * mag;
+                msgs[k] = msg;
+                posterior[v] = extrinsic[k] + msg;
+            }
+        }
+        for (b, &p) in bits.iter_mut().zip(&posterior) {
+            *b = p < 0.0;
+        }
+        converged = code.is_codeword(&bits);
+    }
+
+    DecodeOutcome {
+        bits,
+        converged,
+        iterations: iterations.max(1),
+    }
+}
+
+// --- Shared harness --------------------------------------------------------
+
+/// A random code and a random noisy observation of a random codeword. SNR
+/// spans hopeless (1 dB) to easy (6 dB) so the battery exercises early
+/// convergence, mid-loop convergence, and iteration exhaustion alike.
+fn random_block(n: usize, code_seed: u64, msg_seed: u64, snr_centi: u32) -> (LdpcCode, Vec<f64>) {
+    let code = LdpcCode::gallager(n, 3, 6, code_seed).unwrap();
+    let enc = Encoder::new(&code).unwrap();
+    let mut rng = StdRng::seed_from_u64(msg_seed);
+    let msg: Vec<bool> = (0..enc.k()).map(|_| rng.gen()).collect();
+    let word = enc.encode(&msg).unwrap();
+    let mut chan = AwgnChannel::new(snr_centi as f64 / 100.0, code.rate(), msg_seed ^ 0x5EED);
+    let llrs = chan.transmit(&word);
+    (code, llrs)
+}
+
+fn assert_matches_reference(
+    reference: &DecodeOutcome,
+    ws: &DecoderWorkspace,
+    converged: bool,
+    iterations: usize,
+) {
+    assert_eq!(converged, reference.converged, "converged diverged");
+    assert_eq!(iterations, reference.iterations, "iterations diverged");
+    assert_eq!(ws.bits(), &reference.bits[..], "hard decisions diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn min_sum_matches_seed_reference(
+        code_seed in 0u64..2_000,
+        msg_seed in 0u64..2_000,
+        snr_centi in 100u32..600,
+        max_iters in 1usize..24,
+    ) {
+        let (code, llrs) = random_block(120, code_seed, msg_seed, snr_centi);
+        let dec = MinSumDecoder { max_iters, alpha: 0.8 };
+        let reference = ref_decode_flooding(&code, &llrs, max_iters, |q, out| {
+            ref_min_sum_check(q, out, dec.alpha)
+        });
+        let mut ws = DecoderWorkspace::new();
+        let status = dec.decode_with(&code, &llrs, &mut ws);
+        assert_matches_reference(&reference, &ws, status.converged, status.iterations);
+    }
+
+    #[test]
+    fn sum_product_matches_seed_reference(
+        code_seed in 0u64..2_000,
+        msg_seed in 0u64..2_000,
+        snr_centi in 100u32..600,
+    ) {
+        let (code, llrs) = random_block(120, code_seed, msg_seed, snr_centi);
+        let dec = SumProductDecoder::default();
+        let reference =
+            ref_decode_flooding(&code, &llrs, dec.max_iters, ref_sum_product_check);
+        let mut ws = DecoderWorkspace::new();
+        let status = dec.decode_with(&code, &llrs, &mut ws);
+        assert_matches_reference(&reference, &ws, status.converged, status.iterations);
+    }
+
+    #[test]
+    fn layered_matches_seed_reference(
+        code_seed in 0u64..2_000,
+        msg_seed in 0u64..2_000,
+        snr_centi in 100u32..600,
+    ) {
+        let (code, llrs) = random_block(120, code_seed, msg_seed, snr_centi);
+        let dec = LayeredMinSumDecoder::default();
+        let reference = ref_decode_layered(&code, &llrs, dec.max_iters, dec.alpha);
+        let mut ws = DecoderWorkspace::new();
+        let status = dec.decode_with(&code, &llrs, &mut ws);
+        assert_matches_reference(&reference, &ws, status.converged, status.iterations);
+    }
+
+    #[test]
+    fn alpha_variants_match_seed_reference(
+        alpha_centi in 50u32..100,
+        msg_seed in 0u64..2_000,
+    ) {
+        let (code, llrs) = random_block(120, 7, msg_seed, 300);
+        let dec = MinSumDecoder { max_iters: 20, alpha: alpha_centi as f64 / 100.0 };
+        let reference = ref_decode_flooding(&code, &llrs, dec.max_iters, |q, out| {
+            ref_min_sum_check(q, out, dec.alpha)
+        });
+        let mut ws = DecoderWorkspace::new();
+        let status = dec.decode_with(&code, &llrs, &mut ws);
+        assert_matches_reference(&reference, &ws, status.converged, status.iterations);
+    }
+
+    #[test]
+    fn reused_workspace_is_history_free(
+        code_seed_a in 0u64..500,
+        code_seed_b in 0u64..500,
+        msg_seed in 0u64..2_000,
+    ) {
+        // Decoding block B after an unrelated block A (different code, so
+        // the workspace rebuilds its topology mid-stream) must produce the
+        // same result as decoding B into a fresh workspace.
+        let (code_a, llrs_a) = random_block(120, code_seed_a, msg_seed, 200);
+        let (code_b, llrs_b) = random_block(240, code_seed_b, msg_seed ^ 1, 350);
+        let dec = MinSumDecoder::default();
+
+        let mut shared = DecoderWorkspace::new();
+        dec.decode_with(&code_a, &llrs_a, &mut shared);
+        let warm = dec.decode_with(&code_b, &llrs_b, &mut shared);
+
+        let mut fresh = DecoderWorkspace::new();
+        let cold = dec.decode_with(&code_b, &llrs_b, &mut fresh);
+
+        prop_assert_eq!(warm, cold);
+        prop_assert_eq!(shared.bits(), fresh.bits());
+    }
+}
+
+/// The convenience `decode()` API (which allocates its own workspace) and
+/// the `decode_with` path must agree with the reference too — one dense
+/// deterministic sweep rather than a proptest, so the three public decoders
+/// are each pinned at least once even under `--test-threads` stress.
+#[test]
+fn convenience_api_matches_reference_across_decoders() {
+    for (code_seed, snr) in [(3u64, 150u32), (9, 300), (21, 500)] {
+        let (code, llrs) = random_block(240, code_seed, code_seed * 31, snr);
+        let ms = MinSumDecoder::default();
+        let sp = SumProductDecoder::default();
+        let lay = LayeredMinSumDecoder::default();
+
+        let ms_ref = ref_decode_flooding(&code, &llrs, ms.max_iters, |q, out| {
+            ref_min_sum_check(q, out, ms.alpha)
+        });
+        assert_eq!(ms.decode(&code, &llrs), ms_ref);
+
+        let sp_ref = ref_decode_flooding(&code, &llrs, sp.max_iters, ref_sum_product_check);
+        assert_eq!(sp.decode(&code, &llrs), sp_ref);
+
+        let lay_ref = ref_decode_layered(&code, &llrs, lay.max_iters, lay.alpha);
+        assert_eq!(lay.decode(&code, &llrs), lay_ref);
+    }
+}

@@ -159,6 +159,7 @@ struct SweepCtx<'a> {
     num_vcs: usize,
     /// `5 * num_vcs`, the round-robin arbitration slot count.
     slots: usize,
+    buffer_depth: u32,
     neighbors: &'a [[Option<u32>; 4]],
     /// Set only while the fabric is degraded; route computation then uses
     /// the surround-routing detour tables instead of `routing`.
@@ -193,6 +194,21 @@ struct SweepOut {
     flits_popped: u64,
     /// Flits pushed onto outbound links (`total_on_links` increment).
     flits_to_links: u64,
+    /// Pre-sweep (phases 1–3): link arrivals whose downstream router lies
+    /// outside the stripe, as `(router, source direction index, flit)`.
+    arrivals: Vec<(u32, u8, Flit)>,
+    /// Pre-sweep: in-stripe routers handed new work, to enroll in the
+    /// dirty list at commit (the stripe cannot touch `queued`/`incoming`).
+    activated: Vec<u32>,
+    /// Pre-sweep: flits that finished link traversal (`total_on_links`
+    /// decrement).
+    flits_arrived: u64,
+    /// Pre-sweep: flits landed in input buffers — link arrivals applied
+    /// in-stripe plus NIC injections (`total_buffered` increment).
+    flits_buffered: u64,
+    /// Pre-sweep: flits moved from NIC queues to the local input port
+    /// (`total_nic_queued` decrement).
+    nic_injected: u64,
 }
 
 impl SweepOut {
@@ -201,6 +217,11 @@ impl SweepOut {
         self.stats = NetworkStats::default();
         self.flits_popped = 0;
         self.flits_to_links = 0;
+        self.arrivals.clear();
+        self.activated.clear();
+        self.flits_arrived = 0;
+        self.flits_buffered = 0;
+        self.nic_injected = 0;
     }
 }
 
@@ -217,6 +238,75 @@ fn split_at_cuts<'a, T>(mut s: &'a mut [T], cuts: &[usize]) -> Vec<&'a mut [T]> 
     }
     out.push(s);
     out
+}
+
+/// Step phases 1–3 (credit landing, link arrivals, NIC injection) for every
+/// dirty router in one stripe. The three phases fuse into one pass per
+/// router because they touch disjoint state: phase 1 only the router's
+/// output credit queues, phase 2 only its outbound link queues and the
+/// downstream routers' mesh input ports, phase 3 only its own NIC and Local
+/// input port (which phase 2 never feeds). Arrivals whose downstream router
+/// lies in this stripe are applied directly; the rest are deferred into
+/// `out.arrivals` and committed in ascending stripe order, which reproduces
+/// the dense serial loop's arrival order per input port (each port is fed
+/// by exactly one upstream link queue).
+fn pre_sweep_stripe(ctx: &SweepCtx<'_>, stripe: &mut Stripe<'_>, out: &mut SweepOut) {
+    let lo = stripe.base;
+    let hi = stripe.base + stripe.routers.len();
+    for &r_global in stripe.ids {
+        let r_global = r_global as usize;
+        let i = r_global - lo;
+
+        // 1. Land credits that were in flight back to this router.
+        let landed = stripe.routers[i].land_credits(ctx.now);
+        stripe.work[i] -= landed as u32;
+
+        // 2. Link arrivals: move flits that completed link traversal into
+        //    the downstream router's input buffers.
+        for d in 0..4 {
+            let Some(nb_id) = ctx.neighbors[r_global][d] else {
+                debug_assert!(stripe.links[i][d].is_empty());
+                continue;
+            };
+            let nb = nb_id as usize;
+            let dir = Direction::MESH[d];
+            while let Some(&(flit, at)) = stripe.links[i][d].front() {
+                if at > ctx.now {
+                    break;
+                }
+                stripe.links[i][d].pop_front();
+                stripe.work[i] -= 1;
+                out.flits_arrived += 1;
+                if (lo..hi).contains(&nb) {
+                    stripe.routers[nb - lo].accept_flit(dir.opposite(), flit, ctx.buffer_depth);
+                    stripe.buffered[nb - lo] += 1;
+                    stripe.work[nb - lo] += 1;
+                    out.flits_buffered += 1;
+                    out.activated.push(nb_id);
+                } else {
+                    out.arrivals.push((nb_id, d as u8, flit));
+                }
+            }
+        }
+
+        // 3. NIC injection: one flit per node per cycle into the local
+        //    port, space permitting. Phase 2 only ever feeds mesh ports, so
+        //    the Local-port space check is commit-order independent.
+        let nic = &mut stripe.nics[i];
+        let Some(&flit) = nic.peek_inject() else {
+            continue;
+        };
+        let router = &mut stripe.routers[i];
+        let local = Direction::Local.index();
+        if router.inputs[local].vcs[flit.vc as usize].buf.len() < ctx.buffer_depth as usize {
+            nic.take_inject();
+            router.accept_flit(Direction::Local, flit, ctx.buffer_depth);
+            // One work unit moves from the NIC queue to the buffers.
+            out.nic_injected += 1;
+            stripe.buffered[i] += 1;
+            out.flits_buffered += 1;
+        }
+    }
 }
 
 /// Route computation + switch allocation + traversal for every dirty router
@@ -688,96 +778,19 @@ impl Network {
         self.incoming.clear();
     }
 
-    /// Advances the simulation by one clock cycle.
-    ///
-    /// Only routers with pending work (tracked by the occupancy counters)
-    /// are visited; an idle network advances its clock in O(1).
-    pub fn step(&mut self) {
-        let now = self.cycle;
-        if self.faults.is_some() {
-            self.apply_fault_events(now);
-        }
-        self.merge_worklist();
-        if self.worklist.is_empty() {
-            self.cycle += 1;
-            return;
-        }
-        let worklist = std::mem::take(&mut self.worklist);
-
-        // 1. Land credits that were in flight back to upstream routers.
-        for &r in &worklist {
-            let r = r as usize;
-            let landed = self.routers[r].land_credits(now);
-            self.work[r] -= landed as u32;
-        }
-
-        // 2. Link arrivals: move flits that completed link traversal into
-        //    the downstream router's input buffers.
-        for &r in &worklist {
-            let r = r as usize;
-            for d in 0..4 {
-                let Some(nb_id) = self.neighbors[r][d] else {
-                    debug_assert!(self.links[r][d].is_empty());
-                    continue;
-                };
-                let nb_id = nb_id as usize;
-                let dir = Direction::MESH[d];
-                while let Some(&(flit, at)) = self.links[r][d].front() {
-                    if at > now {
-                        break;
-                    }
-                    self.links[r][d].pop_front();
-                    self.work[r] -= 1;
-                    self.total_on_links -= 1;
-                    self.routers[nb_id].accept_flit(dir.opposite(), flit, self.cfg.buffer_depth);
-                    self.buffered[nb_id] += 1;
-                    self.total_buffered += 1;
-                    add_work(
-                        &mut self.work,
-                        &mut self.queued,
-                        &mut self.incoming,
-                        nb_id,
-                        1,
-                    );
-                }
-            }
-        }
-
-        // 3. NIC injection: one flit per node per cycle into the local port,
-        //    space permitting.
-        for &r in &worklist {
-            let r = r as usize;
-            let nic = &mut self.nics[r];
-            let Some(&flit) = nic.peek_inject() else {
-                continue;
-            };
-            let router = &mut self.routers[r];
-            let local = Direction::Local.index();
-            let vc_buf_len = router.inputs[local].vcs[flit.vc as usize].buf.len();
-            if vc_buf_len < self.cfg.buffer_depth as usize {
-                nic.take_inject();
-                router.accept_flit(Direction::Local, flit, self.cfg.buffer_depth);
-                // One work unit moves from the NIC queue to the buffers.
-                self.total_nic_queued -= 1;
-                self.buffered[r] += 1;
-                self.total_buffered += 1;
-            }
-        }
-
-        // Absorb routers that phase 2 fed (they may be able to move the
-        // newly buffered flit this very cycle, exactly as the dense sweep
-        // would), then run the allocation phase over the merged list.
-        self.worklist = worklist;
-        self.merge_worklist();
-        let worklist = std::mem::take(&mut self.worklist);
-
-        // 4. Route computation + switch allocation + traversal: the
-        //    two-phase compute/commit sweep. The dirty worklist is cut into
-        //    contiguous router-id stripes with equal dirty-router counts;
-        //    each stripe computes its routers' decisions and commits the
-        //    effects it owns, deferring cross-stripe effects into its
-        //    `SweepOut`. With one stripe this runs inline (the serial
-        //    path); with more, stripes run on the minipool workers.
+    /// Runs `f` over the dirty `worklist`, either inline as one stripe (the
+    /// serial path) or cut into contiguous router-id stripes with equal
+    /// dirty-router counts on the minipool workers. Each stripe gets
+    /// exclusive access to its id range's per-router state and defers every
+    /// cross-stripe effect into its `SweepOut`; the caller commits
+    /// `self.stripe_outs[..nstripes]` in ascending stripe order. Returns
+    /// the stripe count.
+    fn run_striped(
+        &mut self,
+        worklist: &[u32],
+        now: u64,
+        f: fn(&SweepCtx<'_>, &mut Stripe<'_>, &mut SweepOut),
+    ) -> usize {
         let nstripes = if self.threads > 1 && worklist.len() >= self.par_threshold {
             self.threads.min(worklist.len())
         } else {
@@ -793,6 +806,7 @@ impl Network {
             link_latency: self.cfg.link_latency as u64,
             num_vcs: self.cfg.num_vcs as usize,
             slots: 5 * self.cfg.num_vcs as usize,
+            buffer_depth: self.cfg.buffer_depth,
             neighbors: &self.neighbors,
             faults: match &self.faults {
                 Some(d) if d.state.active() => Some(&d.state),
@@ -804,7 +818,7 @@ impl Network {
             out.reset();
             let mut stripe = Stripe {
                 base: 0,
-                ids: &worklist,
+                ids: worklist,
                 routers: &mut self.routers,
                 links: &mut self.links,
                 nics: &mut self.nics,
@@ -812,7 +826,7 @@ impl Network {
                 buffered: &mut self.buffered,
                 work: &mut self.work,
             };
-            sweep_stripe(&ctx, &mut stripe, out);
+            f(&ctx, &mut stripe, out);
         } else {
             // Stripe k owns worklist segment [k*len/n, (k+1)*len/n); the
             // router-id space is cut at each segment's first dirty id so
@@ -853,11 +867,70 @@ impl Network {
                 for (stripe, out) in stripes.into_iter().zip(outs.iter_mut()) {
                     s.spawn(move || {
                         let mut stripe = stripe;
-                        sweep_stripe(ctx, &mut stripe, out);
+                        f(ctx, &mut stripe, out);
                     });
                 }
             });
         }
+        nstripes
+    }
+
+    /// Advances the simulation by one clock cycle.
+    ///
+    /// Only routers with pending work (tracked by the occupancy counters)
+    /// are visited; an idle network advances its clock in O(1).
+    pub fn step(&mut self) {
+        let now = self.cycle;
+        if self.faults.is_some() {
+            self.apply_fault_events(now);
+        }
+        self.merge_worklist();
+        if self.worklist.is_empty() {
+            self.cycle += 1;
+            return;
+        }
+        let worklist = std::mem::take(&mut self.worklist);
+
+        // 1–3. Credit landing, link arrivals, and NIC injection, fused into
+        // one pass per dirty router and striped across threads exactly like
+        // the allocation sweep (same worker count, same threshold). Each
+        // stripe applies in-stripe arrivals directly and defers the rest.
+        let n_pre = self.run_striped(&worklist, now, pre_sweep_stripe);
+
+        // Commit phases 1–3 in ascending stripe order: since the stripes
+        // partition the ascending worklist, cross-stripe arrivals replay in
+        // exactly the dense serial loop's source-router order.
+        for out in &mut self.stripe_outs[..n_pre] {
+            self.total_on_links -= out.flits_arrived;
+            self.total_buffered += out.flits_buffered;
+            self.total_nic_queued -= out.nic_injected;
+            for (nb, d, flit) in out.arrivals.drain(..) {
+                let nb = nb as usize;
+                let dir = Direction::MESH[d as usize];
+                self.routers[nb].accept_flit(dir.opposite(), flit, self.cfg.buffer_depth);
+                self.buffered[nb] += 1;
+                self.total_buffered += 1;
+                add_work(&mut self.work, &mut self.queued, &mut self.incoming, nb, 1);
+            }
+            for nb in out.activated.drain(..) {
+                let nb = nb as usize;
+                if !self.queued[nb] {
+                    self.queued[nb] = true;
+                    self.incoming.push(nb as u32);
+                }
+            }
+        }
+
+        // Absorb routers that phase 2 fed (they may be able to move the
+        // newly buffered flit this very cycle, exactly as the dense sweep
+        // would), then run the allocation phase over the merged list.
+        self.worklist = worklist;
+        self.merge_worklist();
+        let worklist = std::mem::take(&mut self.worklist);
+
+        // 4. Route computation + switch allocation + traversal: the
+        //    two-phase compute/commit sweep over the re-merged worklist.
+        let nstripes = self.run_striped(&worklist, now, sweep_stripe);
         self.worklist = worklist;
 
         // Commit phase: fold each stripe's deferred effects in stripe

@@ -167,3 +167,58 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Saturating runs are expensive (two networks, heavy queues); fewer
+    // cases keep the suite inside the battery's time budget.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn striped_pre_sweep_matches_serial_under_saturation(
+        side in 4usize..9,
+        seed in 0u64..1_000_000_000,
+        threads in 2usize..6,
+        switch_at in 40u64..120,
+    ) {
+        // Step phases 1–3 (credit landing, link arrivals, NIC injection)
+        // stripe alongside the allocation sweep. Saturating injection keeps
+        // every link queue and NIC backlog full, so arrivals constantly
+        // cross stripe boundaries; the mid-run thread flips recut the
+        // stripes while those flits are in flight.
+        let mesh = Mesh::square(side).unwrap();
+        let mk_gen = || TrafficGenerator::new(
+            mesh, TrafficPattern::UniformRandom, 0.9, 5, seed,
+        );
+
+        let mut reference = Network::new(mesh, NocConfig::default());
+        reference.set_threads(1);
+        let mut striped = Network::new(mesh, NocConfig::default());
+        striped.set_threads(threads);
+        striped.set_par_threshold(1);
+
+        let mut gen_a = mk_gen();
+        let mut gen_b = mk_gen();
+        for cycle in 0..400u64 {
+            if cycle == switch_at {
+                striped.set_threads(1);
+            }
+            if cycle == 2 * switch_at {
+                striped.set_threads(threads);
+            }
+            gen_a.tick(&mut reference);
+            reference.step();
+            gen_b.tick(&mut striped);
+            striped.step();
+            prop_assert_eq!(
+                reference.in_flight(),
+                striped.in_flight(),
+                "in-flight diverged at cycle {}",
+                cycle
+            );
+            prop_assert_eq!(reference.stats(), striped.stats());
+        }
+        let delivered_a = reference.drain_all_delivered();
+        let delivered_b = striped.drain_all_delivered();
+        prop_assert_eq!(delivered_a, delivered_b, "delivered sequences diverged");
+    }
+}
