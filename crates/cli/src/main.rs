@@ -1,7 +1,8 @@
 //! `hotnoc` — the command-line front end of the scenario & campaign engine.
 //!
 //! ```text
-//! hotnoc campaign run (--builtin NAME | --spec FILE) [options]
+//! hotnoc campaign run (--builtin NAME | --spec FILE) [--shard I/N] [options]
+//! hotnoc campaign merge SHARD.json... [--out-dir DIR]
 //! hotnoc campaign list
 //! hotnoc campaign expand (--builtin NAME | --spec FILE) [--quick]
 //! hotnoc campaign check FILE...
@@ -9,26 +10,35 @@
 //! hotnoc scenario run --spec FILE
 //! ```
 //!
+//! The full contract (every flag, every exit code, artifact schemas) is
+//! documented in `docs/CLI.md` and `docs/ARTIFACTS.md`.
+//!
 //! Exit codes: 0 = success (a partial `--max-jobs` run that stopped on
 //! schedule is a success; a diff without `--fail-on-regression` is a
 //! success whatever it finds). 1 = runtime failure (job failed, write
 //! failed), a `check` cross-validation failure, or a gated `diff`
 //! regression. 2 = usage error or bad input (unreadable file, not JSON,
 //! missing/unknown `schema` tag, a scenario spec that fails validation —
-//! e.g. a fault event naming a router outside the mesh); for `diff`,
-//! *any* unusable artifact —
-//! including one that fails cross-validation — is bad input (exit 2),
-//! mirroring `bench_regress`, so exit 1 from `diff` always means "a
-//! regression was detected".
+//! e.g. a fault event naming a router outside the mesh); for `diff` and
+//! `merge`, *any* unusable artifact — including one that fails
+//! cross-validation, or an incomplete/duplicated/mismatched shard set —
+//! is bad input (exit 2), mirroring `bench_regress`, so exit 1 from
+//! `diff` always means "a regression was detected" and exit 1 from
+//! `merge` always means "the merged artifacts could not be written".
 
 use hotnoc_core::configs::Fidelity;
 use hotnoc_scenario::builtin::{builtin, BUILTINS};
 use hotnoc_scenario::exhibits::{latency_load_curves, render_latency_load};
 use hotnoc_scenario::json::Json;
 use hotnoc_scenario::runner::{
-    run_campaign, summary_table, validate_campaign_json, CampaignDoc, RunnerOptions,
+    campaign_json, run_campaign, summary_table, validate_campaign_json, CampaignDoc, RunnerOptions,
     CAMPAIGN_SCHEMA,
 };
+use hotnoc_scenario::shard::{
+    merge_shards, run_campaign_shard, shard_summary, validate_shard_json, Shard, ShardDoc,
+    SHARD_SCHEMA,
+};
+use hotnoc_scenario::stats::{aggregate, aggregate_json};
 use hotnoc_scenario::{diff_campaigns, CampaignSpec, ScenarioSpec};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -38,8 +48,9 @@ hotnoc — scenario & campaign engine for the DATE'05 NoC reproduction
 
 USAGE:
     hotnoc campaign run (--builtin NAME | --spec FILE)
-                        [--out-dir DIR] [--threads N] [--max-jobs N]
-                        [--fresh] [--quick] [--quiet]
+                        [--shard I/N] [--out-dir DIR] [--threads N]
+                        [--max-jobs N] [--fresh] [--quick] [--quiet]
+    hotnoc campaign merge SHARD.json... [--out-dir DIR]
     hotnoc campaign list
     hotnoc campaign expand (--builtin NAME | --spec FILE) [--quick]
     hotnoc campaign check FILE...
@@ -50,6 +61,8 @@ USAGE:
 OPTIONS:
     --builtin NAME   a built-in campaign (see `hotnoc campaign list`)
     --spec FILE      a JSON spec file (campaign or scenario)
+    --shard I/N      run only stripe I of N (jobs with index ≡ I mod N);
+                     emits a shard artifact for `campaign merge`
     --out-dir DIR    artifact directory (default .)
     --threads N      worker threads (default HOTNOC_THREADS / parallelism)
     --max-jobs N     stop after N new jobs (the campaign stays resumable)
@@ -64,6 +77,9 @@ DIFF OPTIONS (campaign B is compared against the A baseline):
                            over aligned groups exceeds 1 + N/100
     --fail-on-regression   exit 1 when the gate trips (otherwise the
                            verdict is informational and the exit is 0)
+
+The full contract lives in docs/CLI.md; artifact schemas in
+docs/ARTIFACTS.md; the fleet runbook in docs/OPERATIONS.md.
 ";
 
 fn main() -> ExitCode {
@@ -71,6 +87,7 @@ fn main() -> ExitCode {
     let strs: Vec<&str> = args.iter().map(String::as_str).collect();
     match strs.as_slice() {
         ["campaign", "run", rest @ ..] => campaign_run(rest),
+        ["campaign", "merge", rest @ ..] => campaign_merge(rest),
         ["campaign", "list"] => campaign_list(),
         ["campaign", "expand", rest @ ..] => campaign_expand(rest),
         ["campaign", "check", rest @ ..] if !rest.is_empty() => campaign_check(rest),
@@ -158,6 +175,7 @@ fn campaign_run(args: &[&str]) -> ExitCode {
         &[
             "--builtin",
             "--spec",
+            "--shard",
             "--out-dir",
             "--threads",
             "--max-jobs",
@@ -168,6 +186,10 @@ fn campaign_run(args: &[&str]) -> ExitCode {
         Err(e) => return usage_error(&e),
     };
     let spec = match load_campaign(&flags) {
+        Ok(s) => s,
+        Err(e) => return usage_error(&e),
+    };
+    let shard = match flags.get("--shard").map(Shard::parse).transpose() {
         Ok(s) => s,
         Err(e) => return usage_error(&e),
     };
@@ -188,6 +210,9 @@ fn campaign_run(args: &[&str]) -> ExitCode {
         fresh: flags.has("--fresh"),
         progress: !flags.has("--quiet"),
     };
+    if let Some(shard) = shard {
+        return campaign_run_shard(&spec, shard, &opts);
+    }
     eprintln!(
         "campaign {}: {} jobs on {} thread(s), artifacts in {}",
         spec.name,
@@ -218,6 +243,112 @@ fn campaign_run(args: &[&str]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// The `--shard I/N` arm of `campaign run`: same engine, one stripe, its
+/// own journal, a shard artifact instead of the campaign artifact.
+fn campaign_run_shard(spec: &CampaignSpec, shard: Shard, opts: &RunnerOptions) -> ExitCode {
+    eprintln!(
+        "campaign {} shard {}: {} of {} jobs on {} thread(s), artifacts in {}",
+        spec.name,
+        shard,
+        shard.stripe(spec.expand().len()).len(),
+        spec.expand().len(),
+        opts.threads,
+        opts.out_dir.display()
+    );
+    match run_campaign_shard(spec, shard, opts) {
+        Ok(run) => {
+            print!("{}", shard_summary(&run));
+            if run.resumed_jobs > 0 {
+                println!("resumed {} job(s) from the manifest", run.resumed_jobs);
+            }
+            if let Some(path) = &run.json_path {
+                println!("[saved {}]", path.display());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("hotnoc: campaign {} shard {} failed: {e}", spec.name, shard);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `campaign merge SHARD.json... [--out-dir DIR]`: validate the shard
+/// set and reassemble the exact single-host campaign artifacts.
+fn campaign_merge(args: &[&str]) -> ExitCode {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut out_dir = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(&arg) = it.next() {
+        match arg {
+            "--out-dir" => {
+                let Some(v) = it.next() else {
+                    return usage_error("--out-dir needs a value");
+                };
+                out_dir = PathBuf::from(*v);
+            }
+            other if other.starts_with("--") => {
+                return usage_error(&format!("unknown flag {other:?}"))
+            }
+            path => paths.push(path),
+        }
+    }
+    if paths.is_empty() {
+        return usage_error("campaign merge needs at least one shard artifact");
+    }
+    // Any unusable input — unreadable, not a shard artifact, failed
+    // cross-validation — is bad input (exit 2) naming the file, matching
+    // the diff convention.
+    let mut docs: Vec<ShardDoc> = Vec::with_capacity(paths.len());
+    for path in &paths {
+        match load_artifact(path) {
+            Ok(CheckedDoc::Shard(doc)) => docs.push(doc),
+            Ok(CheckedDoc::Campaign(_)) => {
+                eprintln!(
+                    "hotnoc: {path}: is a whole-campaign artifact ({CAMPAIGN_SCHEMA:?}), \
+                     not a shard — nothing to merge"
+                );
+                return ExitCode::from(2);
+            }
+            Err(LoadFailure::BadInput(e) | LoadFailure::Invalid(e)) => {
+                eprintln!("hotnoc: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let merged = match merge_shards(docs) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("hotnoc: merge rejected: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("hotnoc: {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "merged {} shard(s) of campaign {}: {} jobs",
+        paths.len(),
+        merged.spec.name,
+        merged.records.len()
+    );
+    let json_path = out_dir.join(format!("CAMPAIGN_{}.json", merged.spec.name));
+    let aggregate_path = out_dir.join(format!("CAMPAIGN_{}.aggregate.json", merged.spec.name));
+    let groups = aggregate(&merged.records);
+    for (path, text) in [
+        (&json_path, campaign_json(&merged.spec, &merged.records)),
+        (&aggregate_path, aggregate_json(&merged.spec, &groups)),
+    ] {
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("hotnoc: {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("[saved {}]", path.display());
+    }
+    ExitCode::SUCCESS
 }
 
 fn campaign_list() -> ExitCode {
@@ -252,36 +383,43 @@ fn campaign_expand(args: &[&str]) -> ExitCode {
 }
 
 /// Why a campaign artifact failed to load: bad input (not a campaign
-/// artifact at all — exit 2) vs a document that names the schema but
+/// artifact at all — exit 2) vs a document that names a known schema but
 /// fails cross-validation (exit 1 in `check`).
 enum LoadFailure {
     BadInput(String),
     Invalid(String),
 }
 
-/// Loads and strictly validates a `CAMPAIGN_*.json` artifact, classifying
+/// A successfully loaded artifact: a whole campaign or one shard.
+enum CheckedDoc {
+    Campaign(CampaignDoc),
+    Shard(ShardDoc),
+}
+
+/// Loads and strictly validates a `CAMPAIGN_*.json` artifact — whole
+/// campaign or shard, dispatched on the `schema` tag — classifying
 /// failures. An unreadable file, non-JSON content, or a missing/unknown
-/// `schema` field is *bad input*, not an invalid campaign: those never
-/// were campaign artifacts, and the subcommands report them cleanly with
-/// exit 2 instead of treating them as failed validations (or panicking).
-fn load_artifact(path: &str) -> Result<CampaignDoc, LoadFailure> {
+/// `schema` field is *bad input*, not an invalid artifact: those never
+/// were artifacts, and the subcommands report them cleanly with exit 2
+/// instead of treating them as failed validations (or panicking).
+fn load_artifact(path: &str) -> Result<CheckedDoc, LoadFailure> {
     let text =
         std::fs::read_to_string(path).map_err(|e| LoadFailure::BadInput(format!("{path}: {e}")))?;
     let doc = Json::parse(&text).map_err(|e| LoadFailure::BadInput(format!("{path}: {e}")))?;
     match doc.get("schema").and_then(Json::as_str) {
-        Some(CAMPAIGN_SCHEMA) => {}
-        Some(other) => {
-            return Err(LoadFailure::BadInput(format!(
-                "{path}: unknown schema {other:?} (want {CAMPAIGN_SCHEMA:?})"
-            )))
-        }
-        None => {
-            return Err(LoadFailure::BadInput(format!(
-                "{path}: missing \"schema\" field — not a campaign artifact"
-            )))
-        }
+        Some(CAMPAIGN_SCHEMA) => validate_campaign_json(&doc)
+            .map(CheckedDoc::Campaign)
+            .map_err(|e| LoadFailure::Invalid(format!("{path}: {e}"))),
+        Some(SHARD_SCHEMA) => validate_shard_json(&doc)
+            .map(CheckedDoc::Shard)
+            .map_err(|e| LoadFailure::Invalid(format!("{path}: {e}"))),
+        Some(other) => Err(LoadFailure::BadInput(format!(
+            "{path}: unknown schema {other:?} (want {CAMPAIGN_SCHEMA:?} or {SHARD_SCHEMA:?})"
+        ))),
+        None => Err(LoadFailure::BadInput(format!(
+            "{path}: missing \"schema\" field — not a campaign artifact"
+        ))),
     }
-    validate_campaign_json(&doc).map_err(|e| LoadFailure::Invalid(format!("{path}: {e}")))
 }
 
 fn campaign_check(paths: &[&str]) -> ExitCode {
@@ -297,11 +435,20 @@ fn campaign_check(paths: &[&str]) -> ExitCode {
                 eprintln!("{e}: INVALID");
                 invalid = true;
             }
-            Ok(doc) => {
+            Ok(CheckedDoc::Campaign(doc)) => {
                 println!(
                     "{path}: ok (campaign {}, {} jobs)",
                     doc.spec.name,
                     doc.records.len()
+                );
+            }
+            Ok(CheckedDoc::Shard(doc)) => {
+                println!(
+                    "{path}: ok (shard {} of campaign {}, {} of {} jobs)",
+                    doc.shard,
+                    doc.spec.name,
+                    doc.records.len(),
+                    doc.total_jobs
                 );
             }
         }
@@ -343,7 +490,15 @@ fn campaign_diff(args: &[&str]) -> ExitCode {
     }
     let (path_a, path_b) = (paths[0], paths[1]);
     let load = |path: &str| match load_artifact(path) {
-        Ok(doc) => Ok(doc),
+        Ok(CheckedDoc::Campaign(doc)) => Ok(doc),
+        Ok(CheckedDoc::Shard(doc)) => {
+            eprintln!(
+                "hotnoc: {path}: is shard {} of campaign {} — merge the shard set first \
+                 (`hotnoc campaign merge`), then diff the merged artifact",
+                doc.shard, doc.spec.name
+            );
+            Err(())
+        }
         Err(LoadFailure::BadInput(e) | LoadFailure::Invalid(e)) => {
             eprintln!("hotnoc: {e}");
             Err(())

@@ -1,0 +1,185 @@
+//! Anti-rot enforcement for the `docs/` book:
+//!
+//! * every ` ```sh run ` block in `docs/OPERATIONS.md` is executed, in
+//!   order, against the real `hotnoc` binary (CARGO_BIN_EXE) in one
+//!   shared scratch directory — if the runbook drifts from the CLI, this
+//!   test fails;
+//! * every `hotnoc-*-vN` schema id named in `docs/ARTIFACTS.md` must
+//!   appear in the source tree — documenting a schema nothing emits (or
+//!   renaming one without updating the reference) fails.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hotnoc-docs-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Extracts the bodies of fenced code blocks whose info string is
+/// exactly `tag` (e.g. `sh run`), in document order.
+fn fenced_blocks(markdown: &str, tag: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in markdown.lines() {
+        match &mut current {
+            None => {
+                if line.trim() == format!("```{tag}") {
+                    current = Some(String::new());
+                }
+            }
+            Some(body) => {
+                if line.trim() == "```" {
+                    blocks.push(current.take().expect("open block"));
+                } else {
+                    body.push_str(line);
+                    body.push('\n');
+                }
+            }
+        }
+    }
+    assert!(current.is_none(), "unterminated ```{tag} block");
+    blocks
+}
+
+/// The OPERATIONS.md runbook actually works: every runnable block
+/// succeeds against the current binary, sequentially, sharing one
+/// working directory (later blocks consume earlier blocks' outputs).
+#[test]
+fn operations_runbook_blocks_execute_against_the_binary() {
+    let doc = std::fs::read_to_string(repo_root().join("docs/OPERATIONS.md"))
+        .expect("read docs/OPERATIONS.md");
+    let blocks = fenced_blocks(&doc, "sh run");
+    assert!(
+        blocks.len() >= 4,
+        "expected a substantial runbook, found {} runnable block(s)",
+        blocks.len()
+    );
+
+    // Put a `hotnoc` symlink to the test binary on PATH so the blocks
+    // read exactly like real fleet commands.
+    let work = scratch_dir("ops");
+    let bin_dir = work.join(".bin");
+    std::fs::create_dir_all(&bin_dir).expect("create bin dir");
+    #[cfg(unix)]
+    std::os::unix::fs::symlink(env!("CARGO_BIN_EXE_hotnoc"), bin_dir.join("hotnoc"))
+        .expect("symlink hotnoc");
+    #[cfg(not(unix))]
+    std::fs::copy(env!("CARGO_BIN_EXE_hotnoc"), bin_dir.join("hotnoc.exe"))
+        .map(|_| ())
+        .expect("copy hotnoc");
+    let path = format!(
+        "{}:{}",
+        bin_dir.display(),
+        std::env::var("PATH").unwrap_or_default()
+    );
+
+    for (i, block) in blocks.iter().enumerate() {
+        let script = format!("set -eu\n{block}");
+        let out = std::process::Command::new("sh")
+            .arg("-c")
+            .arg(&script)
+            .current_dir(&work)
+            .env("PATH", &path)
+            .output()
+            .expect("spawn sh");
+        assert!(
+            out.status.success(),
+            "runnable block #{} failed (exit {:?}):\n--- script ---\n{script}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            i + 1,
+            out.status.code(),
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr),
+        );
+    }
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+/// Collects every `hotnoc-...-vN` schema token in `text`.
+fn schema_ids(text: &str) -> Vec<String> {
+    let mut ids = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = text[i..].find("hotnoc-") {
+        let start = i + pos;
+        let mut end = start;
+        while end < bytes.len()
+            && (bytes[end].is_ascii_lowercase()
+                || bytes[end].is_ascii_digit()
+                || bytes[end] == b'-')
+        {
+            end += 1;
+        }
+        let token = &text[start..end];
+        // A schema id ends in a -v<digits> version suffix; other
+        // hotnoc-* tokens (crate names like hotnoc-scenario) are not
+        // schema ids.
+        if let Some(tail) = token.rfind("-v") {
+            let version = &token[tail + 2..];
+            if !version.is_empty() && version.bytes().all(|b| b.is_ascii_digit()) {
+                ids.push(token.to_string());
+            }
+        }
+        i = end.max(start + 1);
+    }
+    ids.sort();
+    ids.dedup();
+    ids
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("read dir") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Every schema id ARTIFACTS.md documents exists in the source tree,
+/// and the known emitted schemas are all documented.
+#[test]
+fn artifacts_reference_matches_source_schemas() {
+    let root = repo_root();
+    let doc =
+        std::fs::read_to_string(root.join("docs/ARTIFACTS.md")).expect("read docs/ARTIFACTS.md");
+    let documented = schema_ids(&doc);
+
+    for required in [
+        "hotnoc-campaign-spec-v1",
+        "hotnoc-campaign-v1",
+        "hotnoc-campaign-shard-v1",
+        "hotnoc-campaign-aggregate-v1",
+        "hotnoc-campaign-manifest-v1",
+        "hotnoc-bench-v2",
+    ] {
+        assert!(
+            documented.iter().any(|d| d == required),
+            "docs/ARTIFACTS.md does not document {required}"
+        );
+    }
+
+    let mut sources = Vec::new();
+    rust_sources(&root.join("crates"), &mut sources);
+    rust_sources(&root.join("vendor"), &mut sources);
+    let mut all_source_text = String::new();
+    for path in &sources {
+        all_source_text.push_str(&std::fs::read_to_string(path).expect("read source"));
+    }
+    for id in &documented {
+        assert!(
+            all_source_text.contains(id.as_str()),
+            "docs/ARTIFACTS.md documents {id}, but no source under crates/ or vendor/ mentions it"
+        );
+    }
+}

@@ -29,8 +29,17 @@
 //!   (`hotnoc-campaign-aggregate-v1`); [`diff`] aligns two campaign
 //!   artifacts by group and reports ratio-of-medians with CI-overlap
 //!   verdicts — the `hotnoc campaign diff` A/B engine.
+//! * [`shard`] distributes a campaign across processes and hosts:
+//!   [`shard::run_campaign_shard`] executes a deterministic modulo stripe
+//!   of the expansion (same per-job seeds as an unsharded run, its own
+//!   kill/resume-safe journal) and emits a `hotnoc-campaign-shard-v1`
+//!   artifact; [`shard::merge_shards`] validates a shard set and
+//!   reassembles the exact single-host `CAMPAIGN_<name>.json` +
+//!   `.aggregate.json` bytes.
 //!
 //! The `hotnoc` CLI (`crates/cli`) fronts all of this from the shell.
+//! The normative schema reference for every emitted artifact lives in
+//! `docs/ARTIFACTS.md` at the repository root.
 //!
 //! ```
 //! use hotnoc_scenario::builtin::builtin;
@@ -66,6 +75,7 @@ pub mod json;
 pub mod outcome;
 pub mod run;
 pub mod runner;
+pub mod shard;
 pub mod spec;
 pub mod stats;
 
@@ -75,5 +85,6 @@ pub use error::ScenarioError;
 pub use outcome::ScenarioOutcome;
 pub use run::run_scenario;
 pub use runner::{run_campaign, CampaignRun, JobRecord, RunnerOptions};
+pub use shard::{merge_shards, run_campaign_shard, MergedCampaign, Shard, ShardDoc, ShardRun};
 pub use spec::{ChipKind, Mode, Policy, ScenarioSpec, Workload};
 pub use stats::{GroupAggregate, GroupKey, SummaryStats};

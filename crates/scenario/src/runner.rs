@@ -149,17 +149,111 @@ pub fn run_campaign(
     // now and re-emit on completion, so artifact presence reliably signals
     // "this campaign, complete".
     for stale in [&json_path, &aggregate_path] {
-        match std::fs::remove_file(stale) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(ScenarioError::io(stale, e)),
-        }
+        remove_stale(stale)?;
     }
+
+    let slice = JournalSlice {
+        jobs: &jobs,
+        work: (0..jobs.len()).collect(),
+        manifest_path,
+        header: Json::object(vec![
+            ("schema", Json::str(MANIFEST_SCHEMA)),
+            ("name", Json::Str(spec.name.clone())),
+            ("fingerprint", Json::Str(fingerprint)),
+            ("jobs", Json::int(jobs.len() as u64)),
+        ]),
+    };
+    let sliced = execute_journaled(&slice, opts)?;
+
+    let completed: Vec<JobRecord> = sliced
+        .outcomes
+        .into_iter()
+        .map(|(index, outcome)| JobRecord {
+            index,
+            spec: jobs[index].clone(),
+            outcome,
+        })
+        .collect();
+
+    let groups = aggregate(&completed);
+    let mut run = CampaignRun {
+        spec: spec.clone(),
+        completed,
+        total_jobs: jobs.len(),
+        resumed_jobs: sliced.resumed_jobs,
+        executed_jobs: sliced.executed_jobs,
+        manifest_path: slice.manifest_path,
+        json_path: None,
+        aggregate_path: None,
+        groups,
+    };
+    if run.is_complete() {
+        std::fs::write(&json_path, campaign_json(spec, &run.completed))
+            .map_err(|e| ScenarioError::io(&json_path, e))?;
+        run.json_path = Some(json_path);
+        std::fs::write(&aggregate_path, aggregate_json(spec, &run.groups))
+            .map_err(|e| ScenarioError::io(&aggregate_path, e))?;
+        run.aggregate_path = Some(aggregate_path);
+    }
+    Ok(run)
+}
+
+/// Removes a possibly-present stale artifact.
+pub(crate) fn remove_stale(path: &Path) -> Result<(), ScenarioError> {
+    match std::fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(ScenarioError::io(path, e)),
+    }
+}
+
+/// One journaled execution slice: the subset of a campaign's expanded job
+/// list that an invocation owns, the journal it persists to, and the exact
+/// header line binding that journal to this (campaign, slice) pair. The
+/// whole-campaign runner and the shard runner ([`crate::shard`]) drive the
+/// same engine — a shard is "the same run, smaller work list, its own
+/// journal".
+pub(crate) struct JournalSlice<'a> {
+    /// The campaign's full expanded job list; `work` indices refer into it.
+    pub jobs: &'a [ScenarioSpec],
+    /// The job indices this run owns, strictly ascending (the modulo
+    /// stripe for shards, `0..jobs.len()` for a whole run).
+    pub work: Vec<usize>,
+    /// Path of the journal.
+    pub manifest_path: PathBuf,
+    /// The journal's header line. A resume recovers outcomes only from a
+    /// journal whose first line parses back to exactly this value, so any
+    /// drift — an edited spec (fingerprint), a different job count,
+    /// different shard coordinates — restarts the journal instead of
+    /// mixing results.
+    pub header: Json,
+}
+
+/// What [`execute_journaled`] produced for its slice.
+pub(crate) struct SliceOutcome {
+    /// Completed outcomes by job index (journaled + freshly computed).
+    pub outcomes: BTreeMap<usize, ScenarioOutcome>,
+    /// Jobs recovered from the manifest instead of recomputed.
+    pub resumed_jobs: usize,
+    /// Jobs executed by this invocation.
+    pub executed_jobs: usize,
+}
+
+/// Runs (or resumes) one journaled slice of a campaign: recovers
+/// already-journaled outcomes from a matching manifest, executes the
+/// remaining work in parallel on `minipool`, and journals every completed
+/// job immediately (kill-safe).
+pub(crate) fn execute_journaled(
+    slice: &JournalSlice<'_>,
+    opts: &RunnerOptions,
+) -> Result<SliceOutcome, ScenarioError> {
+    let jobs = slice.jobs;
+    let manifest_path = &slice.manifest_path;
 
     // Recover completed jobs from a matching manifest.
     let mut recovered = Recovered::default();
     if !opts.fresh {
-        recovered = read_manifest(&manifest_path, &fingerprint, &jobs);
+        recovered = read_manifest(slice);
     }
     let mut done = recovered.outcomes;
     let resumed_jobs = done.len();
@@ -169,34 +263,33 @@ pub fn run_campaign(
     let mut file = if resumed_jobs > 0 {
         let mut f = std::fs::OpenOptions::new()
             .append(true)
-            .open(&manifest_path)
-            .map_err(|e| ScenarioError::io(&manifest_path, e))?;
+            .open(manifest_path)
+            .map_err(|e| ScenarioError::io(manifest_path, e))?;
         if recovered.torn_tail {
             // A kill mid-write left a partial final line. Terminate it so
             // the first record this run appends starts on its own line
             // instead of being fused onto the fragment (which would make
             // that record unreadable to the *next* resume).
-            writeln!(f).map_err(|e| ScenarioError::io(&manifest_path, e))?;
+            writeln!(f).map_err(|e| ScenarioError::io(manifest_path, e))?;
         }
         f
     } else {
-        let mut f = std::fs::File::create(&manifest_path)
-            .map_err(|e| ScenarioError::io(&manifest_path, e))?;
-        let header = Json::object(vec![
-            ("schema", Json::str(MANIFEST_SCHEMA)),
-            ("name", Json::Str(spec.name.clone())),
-            ("fingerprint", Json::Str(fingerprint.clone())),
-            ("jobs", Json::int(jobs.len() as u64)),
-        ]);
-        writeln!(f, "{header}").map_err(|e| ScenarioError::io(&manifest_path, e))?;
+        let mut f = std::fs::File::create(manifest_path)
+            .map_err(|e| ScenarioError::io(manifest_path, e))?;
+        writeln!(f, "{}", slice.header).map_err(|e| ScenarioError::io(manifest_path, e))?;
         f
     };
     file.flush()
-        .map_err(|e| ScenarioError::io(&manifest_path, e))?;
+        .map_err(|e| ScenarioError::io(manifest_path, e))?;
 
-    // The work list: every job without a journaled outcome, optionally
-    // truncated to simulate an interrupt.
-    let mut pending: Vec<usize> = (0..jobs.len()).filter(|i| !done.contains_key(i)).collect();
+    // The work list: every owned job without a journaled outcome,
+    // optionally truncated to simulate an interrupt.
+    let mut pending: Vec<usize> = slice
+        .work
+        .iter()
+        .copied()
+        .filter(|i| !done.contains_key(i))
+        .collect();
     if let Some(cap) = opts.max_jobs {
         pending.truncate(cap);
     }
@@ -241,7 +334,12 @@ pub fn run_campaign(
                         }
                         if opts.progress {
                             let n = finished.fetch_add(1, Ordering::Relaxed) + 1;
-                            eprintln!("[{n}/{}] {}: {}", jobs.len(), job.name, outcome.summary());
+                            eprintln!(
+                                "[{n}/{}] {}: {}",
+                                slice.work.len(),
+                                job.name,
+                                outcome.summary()
+                            );
                         }
                         results.lock().expect("results lock")[index] = Some(Ok(outcome));
                     }
@@ -272,36 +370,11 @@ pub fn run_campaign(
         }
     }
 
-    let completed: Vec<JobRecord> = done
-        .into_iter()
-        .map(|(index, outcome)| JobRecord {
-            index,
-            spec: jobs[index].clone(),
-            outcome,
-        })
-        .collect();
-
-    let groups = aggregate(&completed);
-    let mut run = CampaignRun {
-        spec: spec.clone(),
-        completed,
-        total_jobs: jobs.len(),
+    Ok(SliceOutcome {
+        outcomes: done,
         resumed_jobs,
         executed_jobs,
-        manifest_path,
-        json_path: None,
-        aggregate_path: None,
-        groups,
-    };
-    if run.is_complete() {
-        std::fs::write(&json_path, campaign_json(spec, &run.completed))
-            .map_err(|e| ScenarioError::io(&json_path, e))?;
-        run.json_path = Some(json_path);
-        std::fs::write(&aggregate_path, aggregate_json(spec, &run.groups))
-            .map_err(|e| ScenarioError::io(&aggregate_path, e))?;
-        run.aggregate_path = Some(aggregate_path);
-    }
-    Ok(run)
+    })
 }
 
 /// What [`read_manifest`] recovered from a journal.
@@ -315,23 +388,24 @@ struct Recovered {
 }
 
 /// Reads a manifest journal, returning the outcomes whose header matches
-/// `fingerprint` and whose job lines are well-formed and consistent with
-/// the expanded `jobs`. Malformed lines — including a truncated final line
-/// from a killed run — are skipped.
-fn read_manifest(path: &Path, fingerprint: &str, jobs: &[ScenarioSpec]) -> Recovered {
+/// the slice's header exactly and whose job lines are well-formed,
+/// consistent with the expanded jobs, and owned by the slice. Malformed
+/// lines — including a truncated final line from a killed run — are
+/// skipped.
+fn read_manifest(slice: &JournalSlice<'_>) -> Recovered {
     let mut out = Recovered::default();
-    let Ok(text) = std::fs::read_to_string(path) else {
+    let Ok(text) = std::fs::read_to_string(&slice.manifest_path) else {
         return out;
     };
     let mut lines = text.lines();
+    // The header must parse back to *exactly* the header this run would
+    // write — schema, campaign name, fingerprint, job count, and (for
+    // shard journals) the shard coordinates. Any drift means the journal
+    // belongs to a different run and is restarted from scratch.
     let header_ok = lines
         .next()
         .and_then(|h| Json::parse(h).ok())
-        .is_some_and(|h| {
-            h.get("schema").and_then(Json::as_str) == Some(MANIFEST_SCHEMA)
-                && h.get("fingerprint").and_then(Json::as_str) == Some(fingerprint)
-                && h.get("jobs").and_then(Json::as_u64) == Some(jobs.len() as u64)
-        });
+        .is_some_and(|h| h == slice.header);
     if !header_ok {
         return out;
     }
@@ -343,8 +417,11 @@ fn read_manifest(path: &Path, fingerprint: &str, jobs: &[ScenarioSpec]) -> Recov
         let Some(index) = j.get("job").and_then(Json::as_u64).map(|i| i as usize) else {
             continue;
         };
-        if index >= jobs.len()
-            || j.get("scenario").and_then(Json::as_str) != Some(&jobs[index].name)
+        // `work` is strictly ascending, so membership is a binary search;
+        // a journaled index outside the slice (tampering, or a stray file)
+        // is ignored rather than trusted.
+        if slice.work.binary_search(&index).is_err()
+            || j.get("scenario").and_then(Json::as_str) != Some(&slice.jobs[index].name)
         {
             continue;
         }

@@ -1,0 +1,108 @@
+//! Property battery for [`hotnoc_scenario::shard`] striping — the
+//! invariants distributed campaigns rest on:
+//!
+//! * for any shard count n ∈ 1..=8, the stripes **partition** the
+//!   expanded job list exactly: pairwise disjoint, complete cover, and
+//!   order-preserving (each stripe ascends, and stripe membership is the
+//!   index modulo n);
+//! * **per-job seeds are shard-invariant**: every job a shard owns
+//!   carries exactly the seed the unsharded expansion derives for that
+//!   index ([`derive_job_seed`] over the campaign seed, the job's
+//!   seed-axis value and its global index), so a sharded sweep simulates
+//!   bit-identical scenarios.
+
+use hotnoc_core::configs::{ChipConfigId, Fidelity};
+use hotnoc_noc::TrafficPattern;
+use hotnoc_scenario::campaign::{derive_job_seed, PolicyAxis};
+use hotnoc_scenario::shard::Shard;
+use hotnoc_scenario::spec::{ChipKind, Mode, Workload};
+use hotnoc_scenario::CampaignSpec;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Arbitrary small campaigns: 1–2 chip configs, 1–3 traffic workloads,
+/// 1–4 seed-axis values — expansions of 1..=24 jobs.
+fn campaigns() -> impl Strategy<Value = CampaignSpec> {
+    let patterns = prop_oneof![
+        Just(TrafficPattern::UniformRandom),
+        Just(TrafficPattern::Transpose),
+        Just(TrafficPattern::Tornado),
+    ];
+    (
+        0u64..u64::MAX,
+        1usize..3,
+        vec(patterns, 1..4),
+        vec(0u64..1000, 1..5),
+    )
+        .prop_map(|(seed, configs, patterns, seeds)| CampaignSpec {
+            name: "prop-shard".to_string(),
+            seed,
+            fidelity: Fidelity::Quick,
+            mode: Mode::Cosim,
+            sim_time_ms: None,
+            configs: [ChipConfigId::A, ChipConfigId::B][..configs]
+                .iter()
+                .map(|&c| ChipKind::Config(c))
+                .collect(),
+            workloads: patterns
+                .into_iter()
+                .map(|pattern| Workload::Traffic {
+                    pattern,
+                    rate: 0.05,
+                    packet_len: 2,
+                    cycles: 100,
+                })
+                .collect(),
+            policies: vec![PolicyAxis::Baseline],
+            schemes: vec![],
+            periods: vec![],
+            offered_loads: vec![],
+            failed_routers: vec![],
+            failed_links: vec![],
+            seeds,
+        })
+}
+
+/// The job's seed-axis value, recovered from the expansion structure:
+/// the seed axis is the innermost loop, so job `i` uses `seeds[i % k]`.
+fn axis_seed(spec: &CampaignSpec, index: usize) -> u64 {
+    spec.seeds[index % spec.seeds.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The n stripes are pairwise disjoint, cover every job index, each
+    /// ascend, and stripe i holds exactly the indices ≡ i (mod n).
+    #[test]
+    fn stripes_partition_the_expansion(spec in campaigns(), count in 1usize..9) {
+        let jobs = spec.expand();
+        let mut owner = vec![None::<usize>; jobs.len()];
+        for index in 0..count {
+            let stripe = Shard::new(index, count).unwrap().stripe(jobs.len());
+            prop_assert!(stripe.windows(2).all(|w| w[0] < w[1]), "stripe must ascend");
+            for &job in &stripe {
+                prop_assert!(job < jobs.len());
+                prop_assert_eq!(job % count, index, "modulo striping");
+                prop_assert_eq!(owner[job], None, "stripes must be disjoint");
+                owner[job] = Some(index);
+            }
+        }
+        prop_assert!(owner.iter().all(Option::is_some), "stripes must cover");
+    }
+
+    /// Every job a shard owns is the *same job* the unsharded run would
+    /// execute at that index: same spec, and in particular the same
+    /// derived per-job seed.
+    #[test]
+    fn sharded_jobs_keep_unsharded_seeds(spec in campaigns(), count in 1usize..9) {
+        let jobs = spec.expand();
+        for index in 0..count {
+            let stripe = Shard::new(index, count).unwrap().stripe(jobs.len());
+            for &job in &stripe {
+                let expect = derive_job_seed(spec.seed, axis_seed(&spec, job), job as u64);
+                prop_assert_eq!(jobs[job].seed, expect, "job {} seed drifted", job);
+            }
+        }
+    }
+}
