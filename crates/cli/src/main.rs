@@ -7,7 +7,9 @@
 //! hotnoc campaign expand (--builtin NAME | --spec FILE) [--quick]
 //! hotnoc campaign check FILE...
 //! hotnoc campaign diff A.json B.json [options]
-//! hotnoc scenario run --spec FILE
+//! hotnoc scenario run --spec FILE [--trace FILE] [--profile FILE]
+//! hotnoc trace summary FILE
+//! hotnoc trace export --chrome FILE [--out FILE]
 //! ```
 //!
 //! The full contract (every flag, every exit code, artifact schemas) is
@@ -39,7 +41,8 @@ use hotnoc_scenario::shard::{
     SHARD_SCHEMA,
 };
 use hotnoc_scenario::stats::{aggregate, aggregate_json};
-use hotnoc_scenario::{diff_campaigns, CampaignSpec, ScenarioSpec};
+use hotnoc_scenario::tracefile::{profile_json, TraceDoc};
+use hotnoc_scenario::{diff_campaigns, run_scenario_traced, CampaignSpec, ScenarioSpec};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -50,13 +53,16 @@ USAGE:
     hotnoc campaign run (--builtin NAME | --spec FILE)
                         [--shard I/N] [--out-dir DIR] [--threads N]
                         [--max-jobs N] [--fresh] [--quick] [--quiet]
+                        [--trace-dir DIR]
     hotnoc campaign merge SHARD.json... [--out-dir DIR]
     hotnoc campaign list
     hotnoc campaign expand (--builtin NAME | --spec FILE) [--quick]
     hotnoc campaign check FILE...
     hotnoc campaign diff A.json B.json [--threshold-pct N]
                         [--fail-on-regression]
-    hotnoc scenario run --spec FILE
+    hotnoc scenario run --spec FILE [--trace FILE] [--profile FILE]
+    hotnoc trace summary FILE
+    hotnoc trace export --chrome FILE [--out FILE]
 
 OPTIONS:
     --builtin NAME   a built-in campaign (see `hotnoc campaign list`)
@@ -69,7 +75,18 @@ OPTIONS:
     --fresh          ignore an existing manifest instead of resuming
     --quick          run built-ins at quick fidelity (seconds, not minutes);
                      spec files set their own \"fidelity\" instead
-    --quiet          suppress per-job progress lines
+    --quiet          suppress per-job progress lines and the heartbeat
+    --trace-dir DIR  write one hotnoc-trace-v1 event trace per job
+                     (TRACE_<campaign>.job<index>.jsonl, byte-deterministic)
+    --trace FILE     write the scenario's hotnoc-trace-v1 event trace
+    --profile FILE   write a hotnoc-profile-v1 timing sidecar (wall-clock;
+                     NOT deterministic — never diff it byte-for-byte)
+
+TRACE SUBCOMMAND (consumes hotnoc-trace-v1 files):
+    summary FILE           per-kind event counts and top congestion windows
+    export --chrome FILE   convert to Chrome trace-event JSON (load in
+                           Perfetto / chrome://tracing); --out FILE writes
+                           to a file instead of stdout
 
 DIFF OPTIONS (campaign B is compared against the A baseline):
     --threshold-pct N      regression threshold in percent (default 15):
@@ -93,6 +110,8 @@ fn main() -> ExitCode {
         ["campaign", "check", rest @ ..] if !rest.is_empty() => campaign_check(rest),
         ["campaign", "diff", rest @ ..] => campaign_diff(rest),
         ["scenario", "run", rest @ ..] => scenario_run(rest),
+        ["trace", "summary", rest @ ..] => trace_summary(rest),
+        ["trace", "export", rest @ ..] => trace_export(rest),
         ["help"] | ["--help"] | ["-h"] => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -179,6 +198,7 @@ fn campaign_run(args: &[&str]) -> ExitCode {
             "--out-dir",
             "--threads",
             "--max-jobs",
+            "--trace-dir",
         ],
         &["--fresh", "--quick", "--quiet"],
     ) {
@@ -209,6 +229,7 @@ fn campaign_run(args: &[&str]) -> ExitCode {
         max_jobs,
         fresh: flags.has("--fresh"),
         progress: !flags.has("--quiet"),
+        trace_dir: flags.get("--trace-dir").map(PathBuf::from),
     };
     if let Some(shard) = shard {
         return campaign_run_shard(&spec, shard, &opts);
@@ -520,7 +541,7 @@ fn campaign_diff(args: &[&str]) -> ExitCode {
 }
 
 fn scenario_run(args: &[&str]) -> ExitCode {
-    let flags = match Flags::parse(args, &["--spec"], &[]) {
+    let flags = match Flags::parse(args, &["--spec", "--trace", "--profile"], &[]) {
         Ok(f) => f,
         Err(e) => return usage_error(&e),
     };
@@ -543,8 +564,36 @@ fn scenario_run(args: &[&str]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match hotnoc_scenario::run_scenario(&spec) {
-        Ok(outcome) => {
+    let trace_path = flags.get("--trace");
+    let profile_path = flags.get("--profile");
+    if profile_path.is_some() {
+        // The timing sidecar is opt-in: with no flag the scope timers
+        // stay a single relaxed load and record nothing.
+        hotnoc_obs::prof::set_enabled(true);
+    }
+    let result = if trace_path.is_some() {
+        run_scenario_traced(&spec).map(|(outcome, events)| (outcome, Some(events)))
+    } else {
+        hotnoc_scenario::run_scenario(&spec).map(|outcome| (outcome, None))
+    };
+    match result {
+        Ok((outcome, events)) => {
+            if let (Some(path), Some(events)) = (trace_path, events) {
+                let doc = TraceDoc::new(&spec.name, events);
+                if let Err(e) = std::fs::write(path, doc.to_jsonl()) {
+                    eprintln!("hotnoc: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("[saved {path}]");
+            }
+            if let Some(path) = profile_path {
+                let report = hotnoc_obs::prof::take_report();
+                if let Err(e) = std::fs::write(path, profile_json(&report)) {
+                    eprintln!("hotnoc: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("[saved {path}] (wall-clock sidecar; not deterministic)");
+            }
             println!("{}", outcome.to_json());
             eprintln!("{}: {}", spec.name, outcome.summary());
             ExitCode::SUCCESS
@@ -554,4 +603,79 @@ fn scenario_run(args: &[&str]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Loads a `hotnoc-trace-v1` JSONL file; any unreadable or malformed
+/// trace is bad input (exit 2), matching the artifact-loading convention.
+fn load_trace(path: &str) -> Result<TraceDoc, ExitCode> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("hotnoc: {path}: {e}");
+            return Err(ExitCode::from(2));
+        }
+    };
+    TraceDoc::parse(&text).map_err(|e| {
+        eprintln!("hotnoc: {path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn trace_summary(args: &[&str]) -> ExitCode {
+    let [path] = args else {
+        return usage_error("trace summary needs exactly one FILE");
+    };
+    match load_trace(path) {
+        Ok(doc) => {
+            print!("{}", doc.summary(5));
+            ExitCode::SUCCESS
+        }
+        Err(code) => code,
+    }
+}
+
+fn trace_export(args: &[&str]) -> ExitCode {
+    let flags_args: Vec<&str> = args.to_vec();
+    let mut path: Option<&str> = None;
+    let mut out: Option<&str> = None;
+    let mut chrome = false;
+    let mut it = flags_args.iter();
+    while let Some(&arg) = it.next() {
+        match arg {
+            "--chrome" => chrome = true,
+            "--out" => {
+                let Some(v) = it.next() else {
+                    return usage_error("--out needs a value");
+                };
+                out = Some(v);
+            }
+            other if other.starts_with("--") => {
+                return usage_error(&format!("unknown flag {other:?}"))
+            }
+            p if path.is_none() => path = Some(p),
+            _ => return usage_error("trace export takes exactly one FILE"),
+        }
+    }
+    if !chrome {
+        return usage_error("trace export needs --chrome (the only export format)");
+    }
+    let Some(path) = path else {
+        return usage_error("trace export needs a FILE");
+    };
+    let doc = match load_trace(path) {
+        Ok(doc) => doc,
+        Err(code) => return code,
+    };
+    let json = doc.chrome_trace_json();
+    match out {
+        Some(out_path) => {
+            if let Err(e) = std::fs::write(out_path, &json) {
+                eprintln!("hotnoc: {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("[saved {out_path}]");
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
 }

@@ -162,6 +162,8 @@ fn artifacts_reference_matches_source_schemas() {
         "hotnoc-campaign-aggregate-v1",
         "hotnoc-campaign-manifest-v1",
         "hotnoc-bench-v2",
+        "hotnoc-trace-v1",
+        "hotnoc-profile-v1",
     ] {
         assert!(
             documented.iter().any(|d| d == required),

@@ -16,12 +16,13 @@
 //! configuration in advance.
 
 use crate::chip::{CalibratedPower, Chip};
-use crate::cosim::CosimParams;
+use crate::cosim::{CosimParams, TRACE_TEMP_HYSTERESIS_C, TRACE_TEMP_THRESHOLD_C};
 use crate::error::CoreError;
+use hotnoc_obs::{TraceEvent, TraceSink};
 use hotnoc_power::leakage;
 use hotnoc_reconfig::phases::PhaseCostModel;
 use hotnoc_reconfig::{MigrationPlan, MigrationScheme, OrbitDecomposition, StateSpec};
-use hotnoc_thermal::{Integrator, ThermalTrace, TransientSim};
+use hotnoc_thermal::{Integrator, ThermalTrace, ThresholdWatcher, TransientSim};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of an adaptive co-simulation run.
@@ -98,6 +99,24 @@ pub fn run_adaptive_cosim(
     cal: &CalibratedPower,
     params: &CosimParams,
 ) -> Result<AdaptiveResult, CoreError> {
+    run_adaptive_cosim_traced(chip, cal, params, None)
+}
+
+/// [`run_adaptive_cosim`] with an optional trace sink: each controller
+/// decision records a [`TraceEvent::PolicyDecision`] (ordinal + chosen
+/// scheme) and the executed plan's [`TraceEvent::Migration`], and a
+/// [`ThresholdWatcher`] emits [`TraceEvent::TempCrossing`] events per
+/// thermal frame. The simulation is identical with or without a sink.
+///
+/// # Errors
+///
+/// Propagates thermal solver failures.
+pub fn run_adaptive_cosim_traced(
+    chip: &Chip,
+    cal: &CalibratedPower,
+    params: &CosimParams,
+    mut sink: Option<&mut dyn TraceSink>,
+) -> Result<AdaptiveResult, CoreError> {
     let n = chip.spec().n_tiles();
     let mesh = chip.mesh();
     let areas = chip.tile_areas_mm2();
@@ -126,10 +145,14 @@ pub fn run_adaptive_cosim(
     let warmup_frames = (params.warmup / params.dt).round() as usize;
     let mut trace = ThermalTrace::new(params.dt, n);
 
+    let mut watcher = sink
+        .as_ref()
+        .map(|_| ThresholdWatcher::new(TRACE_TEMP_THRESHOLD_C, TRACE_TEMP_HYSTERESIS_C, n));
+
     let mut time_in_period = 0.0f64;
     let mut stall_time_total = 0.0f64;
     let mut active_time_total = 0.0f64;
-    for _ in 0..frames {
+    for fi in 0..frames {
         // Migration decision at period boundaries (the stall is folded into
         // the frame energy rather than sub-frame timing: stalls are ~2 % of
         // a period and the adaptive policy is the object of study here).
@@ -152,6 +175,20 @@ pub fn run_adaptive_cosim(
                 &PhaseCostModel::default(),
             );
             stall_time_total += plan.total_cycles() as f64 / clock;
+            if let Some(s) = sink.as_deref_mut() {
+                let cycle = (fi as f64 * params.dt * clock).round() as u64;
+                s.record(TraceEvent::PolicyDecision {
+                    cycle,
+                    decision: schedule.len() as u64,
+                    scheme: scheme.to_string(),
+                });
+                let stall_s = plan.total_cycles() as f64 / clock;
+                let energy = plan.total_flit_hops() as f64 * params.e_flit_hop
+                    + plan.per_tile_endpoint_flits(mesh).iter().sum::<u64>() as f64
+                        * params.e_convert_flit
+                    + stall_s * params.stall_power_fraction * current.iter().sum::<f64>();
+                s.record(plan.trace_event(cycle, energy));
+            }
         }
         let mut power = current.clone();
         let leak = leakage::leakage_per_block(&areas, sim.block_temps(), chip.tech());
@@ -160,6 +197,10 @@ pub fn run_adaptive_cosim(
         }
         sim.step(&power)?;
         trace.push(sim.block_temps());
+        if let (Some(s), Some(w)) = (sink.as_deref_mut(), watcher.as_mut()) {
+            let cycle = ((fi + 1) as f64 * params.dt * clock).round() as u64;
+            w.observe(cycle, sim.block_temps(), s);
+        }
         time_in_period += params.dt;
         active_time_total += params.dt;
     }
@@ -234,6 +275,30 @@ mod tests {
                 best_fixed
             );
         }
+    }
+
+    #[test]
+    fn traced_adaptive_emits_one_decision_per_migration() {
+        let (chip, cal) = chip_and_cal(ChipConfigId::A);
+        let params = CosimParams::quick();
+        let plain = run_adaptive_cosim(&chip, &cal, &params).unwrap();
+        let mut sink = hotnoc_obs::VecSink::new();
+        let traced = run_adaptive_cosim_traced(&chip, &cal, &params, Some(&mut sink)).unwrap();
+        assert_eq!(plain, traced, "tracing must not perturb the simulation");
+        let events = sink.drain();
+        let decisions: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                hotnoc_obs::TraceEvent::PolicyDecision { scheme, .. } => Some(scheme.as_str()),
+                _ => None,
+            })
+            .collect();
+        let expected: Vec<String> = traced.schedule.iter().map(|s| s.to_string()).collect();
+        assert_eq!(decisions, expected, "one decision per scheduled migration");
+        assert_eq!(
+            events.iter().filter(|e| e.kind() == "migration").count(),
+            traced.schedule.len()
+        );
     }
 
     #[test]

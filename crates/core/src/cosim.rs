@@ -9,11 +9,20 @@
 
 use crate::chip::{CalibratedPower, Chip};
 use crate::error::CoreError;
+use hotnoc_obs::{TraceEvent, TraceSink};
 use hotnoc_power::leakage;
 use hotnoc_reconfig::phases::PhaseCostModel;
 use hotnoc_reconfig::{MigrationPlan, MigrationScheme, OrbitDecomposition, StateSpec};
-use hotnoc_thermal::{Integrator, ThermalTrace, TransientSim};
+use hotnoc_thermal::{Integrator, ThermalTrace, ThresholdWatcher, TransientSim};
 use serde::{Deserialize, Serialize};
+
+/// Temperature threshold watched by traced co-simulation runs, °C. Not part
+/// of [`CosimParams`] (which is serialized into artifacts) — the watcher is
+/// pure observation and never feeds back into the simulation.
+pub const TRACE_TEMP_THRESHOLD_C: f64 = 70.0;
+
+/// Hysteresis band of the traced threshold watcher, °C.
+pub const TRACE_TEMP_HYSTERESIS_C: f64 = 0.5;
 
 /// Parameters of one co-simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -116,6 +125,28 @@ pub fn run_cosim(
     cal: &CalibratedPower,
     scheme: Option<MigrationScheme>,
     params: &CosimParams,
+) -> Result<CosimResult, CoreError> {
+    run_cosim_traced(chip, cal, scheme, params, None)
+}
+
+/// [`run_cosim`] with an optional trace sink. When a sink is supplied,
+/// every migration commit records a [`TraceEvent::PolicyDecision`] and the
+/// plan's [`TraceEvent::Migration`] (via
+/// [`MigrationPlan::trace_event`]), and a [`ThresholdWatcher`] at
+/// [`TRACE_TEMP_THRESHOLD_C`] turns the thermal frames into
+/// [`TraceEvent::TempCrossing`] events. Cycles are derived from elapsed
+/// simulated time at the NoC clock, so the trace is deterministic whenever
+/// the run is. The simulation itself is identical with or without a sink.
+///
+/// # Errors
+///
+/// Propagates thermal-solver failures; parameters are validated up front.
+pub fn run_cosim_traced(
+    chip: &Chip,
+    cal: &CalibratedPower,
+    scheme: Option<MigrationScheme>,
+    params: &CosimParams,
+    mut sink: Option<&mut dyn TraceSink>,
 ) -> Result<CosimResult, CoreError> {
     let n = chip.spec().n_tiles();
     let areas = chip.tile_areas_mm2();
@@ -222,11 +253,14 @@ pub fn run_cosim(
     let frames = (params.sim_time / params.dt).round() as usize;
     let warmup_frames = (params.warmup / params.dt).round() as usize;
     let mut trace = ThermalTrace::new(params.dt, n);
+    let mut watcher = sink
+        .as_ref()
+        .map(|_| ThresholdWatcher::new(TRACE_TEMP_THRESHOLD_C, TRACE_TEMP_HYSTERESIS_C, n));
 
     let mut k = 0usize; // migrations so far
     let mut tau = 0.0f64; // position within the current super-period
     let mut frame_power = vec![0.0f64; n];
-    for _ in 0..frames {
+    for fi in 0..frames {
         frame_power.iter_mut().for_each(|p| *p = 0.0);
         let mut remaining = params.dt;
         while remaining > 1e-15 {
@@ -251,6 +285,16 @@ pub fn run_cosim(
                 if super_s - tau < 1e-12 {
                     tau = 0.0;
                     k += 1;
+                    if let Some(s) = sink.as_deref_mut() {
+                        let elapsed = fi as f64 * params.dt + (params.dt - remaining);
+                        let cycle = (elapsed * clock).round() as u64;
+                        s.record(TraceEvent::PolicyDecision {
+                            cycle,
+                            decision: k as u64,
+                            scheme: scheme.to_string(),
+                        });
+                        s.record(plan.trace_event(cycle, migration_energy));
+                    }
                 }
             }
         }
@@ -261,6 +305,10 @@ pub fn run_cosim(
         }
         sim.step(&frame_power)?;
         trace.push(sim.block_temps());
+        if let (Some(s), Some(w)) = (sink.as_deref_mut(), watcher.as_mut()) {
+            let cycle = ((fi + 1) as f64 * params.dt * clock).round() as u64;
+            w.observe(cycle, sim.block_temps(), s);
+        }
     }
 
     let stats = trace
@@ -384,6 +432,32 @@ mod tests {
         .unwrap();
         assert!(r.migration_energy_j > 0.0);
         assert!(r.phases >= 2, "rotation should need several phases");
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_emits_migrations() {
+        let (chip, cal) = chip_and_cal(ChipConfigId::A);
+        let params = CosimParams::quick();
+        let plain = run_cosim(&chip, &cal, Some(MigrationScheme::XYShift), &params).unwrap();
+        let mut sink = hotnoc_obs::VecSink::new();
+        let traced = run_cosim_traced(
+            &chip,
+            &cal,
+            Some(MigrationScheme::XYShift),
+            &params,
+            Some(&mut sink),
+        )
+        .unwrap();
+        assert_eq!(plain, traced, "tracing must not perturb the simulation");
+        let events = sink.drain();
+        let count = |kind: &str| events.iter().filter(|e| e.kind() == kind).count() as u64;
+        assert_eq!(count("migration"), traced.migrations);
+        assert_eq!(count("policy_decision"), traced.migrations);
+        let cycles: Vec<u64> = events.iter().map(TraceEvent::cycle).collect();
+        assert!(
+            cycles.windows(2).all(|w| w[0] <= w[1]),
+            "trace must be in sim-time order: {cycles:?}"
+        );
     }
 
     #[test]

@@ -285,6 +285,7 @@ impl MinSumDecoder {
         llrs: &[f64],
         ws: &mut DecoderWorkspace,
     ) -> Result<DecodeStatus, LdpcError> {
+        let _t = hotnoc_obs::prof::scope("ldpc/decode");
         let alpha = self.alpha;
         decode_flat(code, llrs, self.max_iters, ws, |q, out, _tanhs| {
             min_sum_check(q, out, alpha)
@@ -354,6 +355,7 @@ impl SumProductDecoder {
         llrs: &[f64],
         ws: &mut DecoderWorkspace,
     ) -> Result<DecodeStatus, LdpcError> {
+        let _t = hotnoc_obs::prof::scope("ldpc/decode");
         decode_flat(code, llrs, self.max_iters, ws, sum_product_check)
     }
 }

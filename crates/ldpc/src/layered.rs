@@ -90,6 +90,7 @@ impl LayeredMinSumDecoder {
         llrs: &[f64],
         ws: &mut DecoderWorkspace,
     ) -> Result<DecodeStatus, LdpcError> {
+        let _t = hotnoc_obs::prof::scope("ldpc/decode");
         if llrs.len() != code.n() {
             return Err(LdpcError::LlrLengthMismatch {
                 expected: code.n(),

@@ -10,6 +10,8 @@ use crate::router::{Router, VcState};
 use crate::routing::{Routing, RoutingKind};
 use crate::stats::{ActivitySnapshot, NetworkStats};
 use crate::topology::{Coord, Direction, Mesh, NodeId};
+use hotnoc_obs::event::{CONGESTION_WINDOW, DETOUR_BURST_MIN};
+use hotnoc_obs::{TraceEvent, TraceSink};
 use std::collections::{HashSet, VecDeque};
 
 /// A packet delivery record handed to the application.
@@ -133,6 +135,27 @@ pub struct Network {
     /// Runtime fault schedule and live/dead fabric view; `None` until a
     /// [`FaultPlan`] is installed.
     faults: Option<Box<FaultDriver>>,
+    /// Deterministic trace recording; `None` (the default) keeps every hot
+    /// path on a single never-taken branch.
+    trace: Option<Box<TraceState>>,
+}
+
+/// Trace recording state, live only while a sink is installed (see
+/// [`Network::set_trace_sink`]). All bookkeeping here is a pure function
+/// of simulation state, so recorded events are byte-deterministic at any
+/// thread count.
+struct TraceState {
+    sink: Box<dyn TraceSink>,
+    /// Fault epochs committed so far (ordinal of the next `FaultEpoch`).
+    epochs: u64,
+    /// First cycle of the open congestion window.
+    window_start: u64,
+    /// Peak single-router buffered-flit count in the open window.
+    peak: u64,
+    /// Cycle the peak was first observed.
+    peak_cycle: u64,
+    /// Router (node index) holding the peak; lowest id on ties.
+    peak_router: u32,
 }
 
 /// Adds `amount` work units to router `r`, enrolling it in the dirty list if
@@ -164,6 +187,9 @@ struct SweepCtx<'a> {
     /// Set only while the fabric is degraded; route computation then uses
     /// the surround-routing detour tables instead of `routing`.
     faults: Option<&'a FaultState>,
+    /// Whether a trace sink is installed; gates the (cheap) per-router
+    /// congestion sampling inside the sweep.
+    trace: bool,
 }
 
 /// One stripe of the allocation sweep: a contiguous router-id range
@@ -209,6 +235,12 @@ struct SweepOut {
     /// Pre-sweep: flits moved from NIC queues to the local input port
     /// (`total_nic_queued` decrement).
     nic_injected: u64,
+    /// Tracing only: peak buffered-flit count of any single router this
+    /// stripe visited this cycle (0 when no sink is installed).
+    peak_occ: u64,
+    /// Tracing only: the router holding `peak_occ` (first = lowest id,
+    /// since stripes visit their ids in ascending order).
+    peak_router: u32,
 }
 
 impl SweepOut {
@@ -222,6 +254,8 @@ impl SweepOut {
         self.flits_arrived = 0;
         self.flits_buffered = 0;
         self.nic_injected = 0;
+        self.peak_occ = 0;
+        self.peak_router = 0;
     }
 }
 
@@ -320,6 +354,10 @@ fn sweep_stripe(ctx: &SweepCtx<'_>, stripe: &mut Stripe<'_>, out: &mut SweepOut)
         let i = r_global - stripe.base;
         if stripe.buffered[i] == 0 {
             continue;
+        }
+        if ctx.trace && stripe.buffered[i] as u64 > out.peak_occ {
+            out.peak_occ = stripe.buffered[i] as u64;
+            out.peak_router = r_global as u32;
         }
         let coord = ctx.mesh.coord(NodeId::new(r_global as u16));
         let router = &mut stripe.routers[i];
@@ -587,6 +625,7 @@ impl Network {
             total_on_links: 0,
             total_nic_queued: 0,
             faults: None,
+            trace: None,
         })
     }
 
@@ -656,6 +695,15 @@ impl Network {
                     self.stats.flits_injected += packet.len_flits as u64;
                     self.stats.packets_dropped += 1;
                     self.stats.flits_dropped += packet.len_flits as u64;
+                    if let Some(t) = &mut self.trace {
+                        let c = self.mesh.coord(packet.src);
+                        t.sink.record(TraceEvent::PacketDrop {
+                            cycle: self.cycle,
+                            x: c.x,
+                            y: c.y,
+                            flits: packet.len_flits as u64,
+                        });
+                    }
                     return Ok(());
                 }
             }
@@ -812,6 +860,7 @@ impl Network {
                 Some(d) if d.state.active() => Some(&d.state),
                 _ => None,
             },
+            trace: self.trace.is_some(),
         };
         if nstripes == 1 {
             let out = &mut self.stripe_outs[0];
@@ -886,6 +935,7 @@ impl Network {
         }
         self.merge_worklist();
         if self.worklist.is_empty() {
+            self.close_congestion_window(now);
             self.cycle += 1;
             return;
         }
@@ -895,6 +945,7 @@ impl Network {
         // one pass per dirty router and striped across threads exactly like
         // the allocation sweep (same worker count, same threshold). Each
         // stripe applies in-stripe arrivals directly and defers the rest.
+        let prof_pre = hotnoc_obs::prof::scope("noc/step/pre_sweep");
         let n_pre = self.run_striped(&worklist, now, pre_sweep_stripe);
 
         // Commit phases 1–3 in ascending stripe order: since the stripes
@@ -921,6 +972,8 @@ impl Network {
             }
         }
 
+        drop(prof_pre);
+
         // Absorb routers that phase 2 fed (they may be able to move the
         // newly buffered flit this very cycle, exactly as the dense sweep
         // would), then run the allocation phase over the merged list.
@@ -930,13 +983,25 @@ impl Network {
 
         // 4. Route computation + switch allocation + traversal: the
         //    two-phase compute/commit sweep over the re-merged worklist.
+        let prof_alloc = hotnoc_obs::prof::scope("noc/step/alloc_sweep");
         let nstripes = self.run_striped(&worklist, now, sweep_stripe);
         self.worklist = worklist;
 
         // Commit phase: fold each stripe's deferred effects in stripe
         // (= ascending router-id) order, reproducing exactly the sequence
         // the dense serial sweep would have produced.
+        let tracing = self.trace.is_some();
+        let mut cycle_detours = 0u64;
+        let mut cycle_peak = 0u64;
+        let mut cycle_peak_router = 0u32;
         for out in &mut self.stripe_outs[..nstripes] {
+            if tracing {
+                cycle_detours += out.stats.detour_hops;
+                if out.peak_occ > cycle_peak {
+                    cycle_peak = out.peak_occ;
+                    cycle_peak_router = out.peak_router;
+                }
+            }
             self.stats.merge(&out.stats);
             self.total_buffered -= out.flits_popped;
             self.total_on_links += out.flits_to_links;
@@ -962,7 +1027,90 @@ impl Network {
             }
         }
 
+        drop(prof_alloc);
+
+        // Trace plane: the per-cycle aggregates merged above (ascending
+        // stripe order, strict-max comparison) are thread-count invariant,
+        // so the emitted events are too.
+        if let Some(t) = &mut self.trace {
+            if cycle_detours >= DETOUR_BURST_MIN {
+                t.sink.record(TraceEvent::DetourBurst {
+                    cycle: now,
+                    hops: cycle_detours,
+                });
+            }
+            if cycle_peak > t.peak {
+                t.peak = cycle_peak;
+                t.peak_cycle = now;
+                t.peak_router = cycle_peak_router;
+            }
+        }
+        self.close_congestion_window(now);
+
         self.cycle += 1;
+    }
+
+    /// Installs a trace sink: fault/repair epochs, source packet drops,
+    /// detour bursts and per-window congestion watermarks are recorded
+    /// into it until [`Network::take_trace_sink`]. Events are a pure
+    /// function of simulation state — byte-identical at any thread count —
+    /// and recording perturbs nothing the simulation observes.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(Box::new(TraceState {
+            sink,
+            epochs: 0,
+            window_start: self.cycle,
+            peak: 0,
+            peak_cycle: 0,
+            peak_router: 0,
+        }));
+    }
+
+    /// Removes the trace sink, flushing the open congestion window first,
+    /// and returns it for draining. `None` if no sink was installed.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        let mut t = self.trace.take()?;
+        if t.peak > 0 {
+            let end = self.cycle.saturating_sub(1).max(t.window_start);
+            let c = self.mesh.coord(NodeId::new(t.peak_router as u16));
+            t.sink.record(TraceEvent::Congestion {
+                cycle: end,
+                window_start: t.window_start,
+                peak: t.peak,
+                peak_cycle: t.peak_cycle,
+                x: c.x,
+                y: c.y,
+            });
+        }
+        Some(t.sink)
+    }
+
+    /// Emits the congestion watermark when `now` closes a
+    /// [`CONGESTION_WINDOW`]-cycle window (windows without traffic stay
+    /// silent). Runs on every step, including the idle fast path, so
+    /// window boundaries fall at fixed cycles regardless of load; the
+    /// inline hint keeps the no-sink case a single predicted branch there.
+    #[inline]
+    fn close_congestion_window(&mut self, now: u64) {
+        let Some(t) = &mut self.trace else { return };
+        if !(now + 1).is_multiple_of(CONGESTION_WINDOW) {
+            return;
+        }
+        if t.peak > 0 {
+            let c = self.mesh.coord(NodeId::new(t.peak_router as u16));
+            t.sink.record(TraceEvent::Congestion {
+                cycle: now,
+                window_start: t.window_start,
+                peak: t.peak,
+                peak_cycle: t.peak_cycle,
+                x: c.x,
+                y: c.y,
+            });
+        }
+        t.peak = 0;
+        t.peak_cycle = 0;
+        t.peak_router = 0;
+        t.window_start = now + 1;
     }
 
     /// Worker threads the allocation sweep may use (1 = always serial).
@@ -1132,6 +1280,13 @@ impl Network {
                     if driver.state.set_router(id, false) {
                         newly_failed.push(id);
                         changed = true;
+                        if let Some(t) = &mut self.trace {
+                            t.sink.record(TraceEvent::RouterFailed {
+                                cycle: now,
+                                x: c.x,
+                                y: c.y,
+                            });
+                        }
                     }
                 }
                 FaultKind::RepairRouter(c) => {
@@ -1139,23 +1294,65 @@ impl Network {
                     if driver.state.set_router(id, true) {
                         repaired.push(id);
                         changed = true;
+                        if let Some(t) = &mut self.trace {
+                            t.sink.record(TraceEvent::RouterRepaired {
+                                cycle: now,
+                                x: c.x,
+                                y: c.y,
+                            });
+                        }
                     }
                 }
                 FaultKind::FailLink(a, b) => {
                     let (id, dir) = self.link_endpoint(a, b);
-                    changed |= driver.state.set_link(self.mesh, id, dir, false);
+                    if driver.state.set_link(self.mesh, id, dir, false) {
+                        changed = true;
+                        if let Some(t) = &mut self.trace {
+                            t.sink.record(TraceEvent::LinkFailed {
+                                cycle: now,
+                                ax: a.x,
+                                ay: a.y,
+                                bx: b.x,
+                                by: b.y,
+                            });
+                        }
+                    }
                 }
                 FaultKind::RepairLink(a, b) => {
                     let (id, dir) = self.link_endpoint(a, b);
-                    changed |= driver.state.set_link(self.mesh, id, dir, true);
+                    if driver.state.set_link(self.mesh, id, dir, true) {
+                        changed = true;
+                        if let Some(t) = &mut self.trace {
+                            t.sink.record(TraceEvent::LinkRepaired {
+                                cycle: now,
+                                ax: a.x,
+                                ay: a.y,
+                                bx: b.x,
+                                by: b.y,
+                            });
+                        }
+                    }
                 }
             }
         }
         if changed {
+            let (drops_before, flit_drops_before) =
+                (self.stats.packets_dropped, self.stats.flits_dropped);
             driver.state.rebuild(self.mesh);
             self.fault_teardown(&driver.state, &newly_failed);
             for &r in &repaired {
                 self.restore_router_credits(r, &driver.state);
+            }
+            if let Some(t) = &mut self.trace {
+                t.epochs += 1;
+                t.sink.record(TraceEvent::FaultEpoch {
+                    cycle: now,
+                    epoch: t.epochs,
+                    routers_down: driver.state.disabled_routers() as u64,
+                    links_down: driver.state.disabled_links() as u64,
+                    packets_dropped: self.stats.packets_dropped - drops_before,
+                    flits_dropped: self.stats.flits_dropped - flit_drops_before,
+                });
             }
         }
         self.faults = Some(driver);

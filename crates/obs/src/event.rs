@@ -1,0 +1,279 @@
+//! The typed, sim-time trace event vocabulary.
+//!
+//! Every event carries the sim cycle it happened at; a serialized trace is
+//! ordered by cycle (non-descending), with ties broken by emission order —
+//! which producers keep deterministic by committing stripe-buffered events
+//! in ascending router-id order. The taxonomy, field meanings and emission
+//! thresholds are documented in `docs/OBSERVABILITY.md`.
+//!
+//! Coordinates are plain `(x, y)` pairs rather than `hotnoc_noc::Coord` so
+//! this crate stays a dependency-free leaf.
+
+/// One simulation event, keyed by sim cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// The scenario runner started executing a job (`job` is its index in
+    /// the stably-ordered expanded job list).
+    JobStart {
+        /// Sim cycle (always 0 — the job's first event).
+        cycle: u64,
+        /// Job index in the expanded campaign job list.
+        job: u64,
+        /// Job (scenario) name.
+        name: String,
+    },
+    /// The scenario runner finished a job; always the trace's last event.
+    JobFinish {
+        /// Final sim cycle of the job.
+        cycle: u64,
+        /// Job index in the expanded campaign job list.
+        job: u64,
+        /// Job (scenario) name.
+        name: String,
+    },
+    /// A sharded campaign run executed this job as part of its stripe.
+    /// Keyed by the job's *position in the stripe* (not completion order,
+    /// which varies with thread count).
+    ShardProgress {
+        /// Sim cycle (always 0 — recorded at job start).
+        cycle: u64,
+        /// Shard index `i` of `i/n`.
+        shard: u64,
+        /// Shard count `n` of `i/n`.
+        shard_count: u64,
+        /// Zero-based position of this job within the shard's stripe.
+        position: u64,
+        /// Jobs in the stripe.
+        stripe_len: u64,
+    },
+    /// A router went down (fault-plan event applied).
+    RouterFailed {
+        /// Sim cycle the fault landed.
+        cycle: u64,
+        /// Router x coordinate.
+        x: u8,
+        /// Router y coordinate.
+        y: u8,
+    },
+    /// A failed router came back.
+    RouterRepaired {
+        /// Sim cycle the repair landed.
+        cycle: u64,
+        /// Router x coordinate.
+        x: u8,
+        /// Router y coordinate.
+        y: u8,
+    },
+    /// A link went down (both directions).
+    LinkFailed {
+        /// Sim cycle the fault landed.
+        cycle: u64,
+        /// Endpoint A x coordinate.
+        ax: u8,
+        /// Endpoint A y coordinate.
+        ay: u8,
+        /// Endpoint B x coordinate.
+        bx: u8,
+        /// Endpoint B y coordinate.
+        by: u8,
+    },
+    /// A failed link came back.
+    LinkRepaired {
+        /// Sim cycle the repair landed.
+        cycle: u64,
+        /// Endpoint A x coordinate.
+        ax: u8,
+        /// Endpoint A y coordinate.
+        ay: u8,
+        /// Endpoint B x coordinate.
+        bx: u8,
+        /// Endpoint B y coordinate.
+        by: u8,
+    },
+    /// A batch of fault-plan events committed at one cycle: the fabric
+    /// entered a new fault epoch. `packets_dropped` / `flits_dropped`
+    /// count the traffic condemned by *this* epoch's teardown.
+    FaultEpoch {
+        /// Sim cycle the epoch began.
+        cycle: u64,
+        /// Epoch ordinal (1 for the first topology change).
+        epoch: u64,
+        /// Routers down after the epoch committed.
+        routers_down: u64,
+        /// Links down after the epoch committed (failed-link records;
+        /// routers that are down also sever their links implicitly).
+        links_down: u64,
+        /// Packets condemned by this epoch's teardown.
+        packets_dropped: u64,
+        /// Flits condemned by this epoch's teardown.
+        flits_dropped: u64,
+    },
+    /// A packet was dropped at its source NIC because the source router
+    /// is dead or unreachable in the degraded fabric.
+    PacketDrop {
+        /// Sim cycle of the drop.
+        cycle: u64,
+        /// Source x coordinate.
+        x: u8,
+        /// Source y coordinate.
+        y: u8,
+        /// Flits in the dropped packet.
+        flits: u64,
+    },
+    /// A cycle in which surround routing detoured at least
+    /// `DETOUR_BURST_MIN` flit-hops off the minimal path.
+    DetourBurst {
+        /// Sim cycle of the burst.
+        cycle: u64,
+        /// Detoured flit-hops this cycle (summed over all routers).
+        hops: u64,
+    },
+    /// Per-window congestion watermark: the peak single-router VC
+    /// occupancy observed during one `CONGESTION_WINDOW`-cycle window.
+    /// Emitted at the window boundary, only for windows with traffic.
+    Congestion {
+        /// Sim cycle the window closed (last cycle of the window).
+        cycle: u64,
+        /// First cycle of the window.
+        window_start: u64,
+        /// Peak buffered flits in any single router during the window.
+        peak: u64,
+        /// Cycle at which the peak was (first) observed.
+        peak_cycle: u64,
+        /// Peak router x coordinate (lowest router id on ties).
+        x: u8,
+        /// Peak router y coordinate.
+        y: u8,
+    },
+    /// A thermal node crossed the configured temperature threshold
+    /// (with hysteresis; see `docs/OBSERVABILITY.md`).
+    TempCrossing {
+        /// Sim cycle of the thermal frame that observed the crossing.
+        cycle: u64,
+        /// Thermal block index.
+        node: u64,
+        /// Block temperature at the crossing, °C.
+        temp_c: f64,
+        /// The threshold crossed, °C.
+        threshold_c: f64,
+        /// `true` when crossing upward (heating past the threshold).
+        rising: bool,
+    },
+    /// The reconfiguration policy chose a migration scheme.
+    PolicyDecision {
+        /// Sim cycle of the decision.
+        cycle: u64,
+        /// Decision ordinal (1-based).
+        decision: u64,
+        /// The chosen scheme, `Display`-rendered.
+        scheme: String,
+    },
+    /// A migration executed, with its cost model outputs.
+    Migration {
+        /// Sim cycle the migration committed.
+        cycle: u64,
+        /// The executed scheme, `Display`-rendered.
+        scheme: String,
+        /// Phases in the migration plan.
+        phases: u64,
+        /// Total flit-hops of state moved.
+        flit_hops: u64,
+        /// NoC cycles the plan stalls the workload for.
+        stall_cycles: u64,
+        /// Migration energy, joules.
+        energy_j: f64,
+    },
+}
+
+/// Minimum detoured flit-hops in one cycle for a [`TraceEvent::DetourBurst`]
+/// to be emitted (quieter cycles still show up in aggregate stats).
+pub const DETOUR_BURST_MIN: u64 = 4;
+
+/// Congestion watermark window length, cycles.
+pub const CONGESTION_WINDOW: u64 = 64;
+
+impl TraceEvent {
+    /// The sim cycle this event is keyed by.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::JobStart { cycle, .. }
+            | TraceEvent::JobFinish { cycle, .. }
+            | TraceEvent::ShardProgress { cycle, .. }
+            | TraceEvent::RouterFailed { cycle, .. }
+            | TraceEvent::RouterRepaired { cycle, .. }
+            | TraceEvent::LinkFailed { cycle, .. }
+            | TraceEvent::LinkRepaired { cycle, .. }
+            | TraceEvent::FaultEpoch { cycle, .. }
+            | TraceEvent::PacketDrop { cycle, .. }
+            | TraceEvent::DetourBurst { cycle, .. }
+            | TraceEvent::Congestion { cycle, .. }
+            | TraceEvent::TempCrossing { cycle, .. }
+            | TraceEvent::PolicyDecision { cycle, .. }
+            | TraceEvent::Migration { cycle, .. } => cycle,
+        }
+    }
+
+    /// The event's kind tag — the `"kind"` field of its serialized form
+    /// and the vocabulary `hotnoc trace summary` counts by.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::JobStart { .. } => "job_start",
+            TraceEvent::JobFinish { .. } => "job_finish",
+            TraceEvent::ShardProgress { .. } => "shard_progress",
+            TraceEvent::RouterFailed { .. } => "router_failed",
+            TraceEvent::RouterRepaired { .. } => "router_repaired",
+            TraceEvent::LinkFailed { .. } => "link_failed",
+            TraceEvent::LinkRepaired { .. } => "link_repaired",
+            TraceEvent::FaultEpoch { .. } => "fault_epoch",
+            TraceEvent::PacketDrop { .. } => "packet_drop",
+            TraceEvent::DetourBurst { .. } => "detour_burst",
+            TraceEvent::Congestion { .. } => "congestion",
+            TraceEvent::TempCrossing { .. } => "temp_crossing",
+            TraceEvent::PolicyDecision { .. } => "policy_decision",
+            TraceEvent::Migration { .. } => "migration",
+        }
+    }
+
+    /// Every kind tag, in taxonomy order (used by validators and docs).
+    pub const KINDS: [&'static str; 14] = [
+        "job_start",
+        "job_finish",
+        "shard_progress",
+        "router_failed",
+        "router_repaired",
+        "link_failed",
+        "link_repaired",
+        "fault_epoch",
+        "packet_drop",
+        "detour_burst",
+        "congestion",
+        "temp_crossing",
+        "policy_decision",
+        "migration",
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_tags_are_unique_and_listed() {
+        let mut kinds = TraceEvent::KINDS.to_vec();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), TraceEvent::KINDS.len());
+    }
+
+    #[test]
+    fn cycle_accessor_matches_payload() {
+        let ev = TraceEvent::RouterFailed {
+            cycle: 42,
+            x: 1,
+            y: 2,
+        };
+        assert_eq!(ev.cycle(), 42);
+        assert_eq!(ev.kind(), "router_failed");
+        assert!(TraceEvent::KINDS.contains(&ev.kind()));
+    }
+}

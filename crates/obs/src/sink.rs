@@ -1,0 +1,151 @@
+//! Trace sinks: where producers put [`TraceEvent`]s.
+//!
+//! A sink is installed into a producer (a `Network`, a co-sim loop, the
+//! scenario runner) for the duration of a run and then drained. Sinks are
+//! deliberately dumb — ordering discipline is the *producer's* job (events
+//! must arrive in the deterministic commit order), and serialization is
+//! the scenario crate's.
+
+use crate::event::TraceEvent;
+
+/// Receives trace events in deterministic order.
+///
+/// `Send` so a sink can ride inside a simulation that a campaign worker
+/// thread owns; producers never share one sink across threads — events
+/// generated in parallel stripes are buffered per stripe and recorded at
+/// the serial commit point.
+pub trait TraceSink: Send {
+    /// Records one event. Must be cheap; called from simulation hot paths
+    /// (behind the producer's "is tracing on" branch).
+    fn record(&mut self, ev: TraceEvent);
+
+    /// Takes every retained event out of the sink, in recorded order.
+    fn drain(&mut self) -> Vec<TraceEvent>;
+
+    /// Events discarded by a bounded sink (0 for unbounded sinks).
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// Unbounded sink: retains everything, in order.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    events: Vec<TraceEvent>,
+}
+
+impl VecSink {
+    /// New empty sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// No events recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+/// Bounded sink: keeps the most recent `capacity` events, counting what it
+/// sheds. The drop policy is deterministic (pure function of the recorded
+/// sequence), so a ring-truncated trace is still byte-stable.
+#[derive(Debug)]
+pub struct RingSink {
+    events: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// New ring retaining at most `capacity` events (capacity 0 retains
+    /// nothing and counts everything as dropped).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            events: std::collections::VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+        }
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, ev: TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        self.events.drain(..).collect()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent::DetourBurst { cycle, hops: 5 }
+    }
+
+    #[test]
+    fn vec_sink_retains_order() {
+        let mut s = VecSink::new();
+        for c in 0..5 {
+            s.record(ev(c));
+        }
+        assert_eq!(s.len(), 5);
+        let drained = s.drain();
+        assert_eq!(drained.len(), 5);
+        assert!(s.is_empty());
+        assert_eq!(drained[3].cycle(), 3);
+        assert_eq!(s.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_sink_sheds_oldest_and_counts() {
+        let mut s = RingSink::new(3);
+        for c in 0..10 {
+            s.record(ev(c));
+        }
+        assert_eq!(s.dropped(), 7);
+        let drained = s.drain();
+        assert_eq!(
+            drained.iter().map(TraceEvent::cycle).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn zero_capacity_ring_retains_nothing() {
+        let mut s = RingSink::new(0);
+        s.record(ev(1));
+        assert_eq!(s.dropped(), 1);
+        assert!(s.drain().is_empty());
+    }
+}

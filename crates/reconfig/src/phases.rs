@@ -167,6 +167,21 @@ impl MigrationPlan {
         self.phases.len()
     }
 
+    /// The [`hotnoc_obs::TraceEvent::Migration`] record describing one
+    /// execution of this plan, priced at `energy_j` joules by the caller's
+    /// energy model. Lives here so every consumer (periodic and adaptive
+    /// co-simulation) reports migrations with identical cost semantics.
+    pub fn trace_event(&self, cycle: u64, energy_j: f64) -> hotnoc_obs::TraceEvent {
+        hotnoc_obs::TraceEvent::Migration {
+            cycle,
+            scheme: self.scheme.to_string(),
+            phases: self.num_phases() as u64,
+            flit_hops: self.total_flit_hops(),
+            stall_cycles: self.total_cycles(),
+            energy_j,
+        }
+    }
+
     /// Attributes the state-transfer flit-hops to the tiles whose routers
     /// forward them (the upstream tile of every traversed link). This is
     /// the spatial distribution of migration energy: rotation's long

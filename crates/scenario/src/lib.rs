@@ -78,13 +78,15 @@ pub mod runner;
 pub mod shard;
 pub mod spec;
 pub mod stats;
+pub mod tracefile;
 
 pub use campaign::{CampaignSpec, PolicyAxis};
 pub use diff::{diff_campaigns, DiffReport, Verdict};
 pub use error::ScenarioError;
 pub use outcome::ScenarioOutcome;
-pub use run::run_scenario;
+pub use run::{run_scenario, run_scenario_traced};
 pub use runner::{run_campaign, CampaignRun, JobRecord, RunnerOptions};
 pub use shard::{merge_shards, run_campaign_shard, MergedCampaign, Shard, ShardDoc, ShardRun};
 pub use spec::{ChipKind, Mode, Policy, ScenarioSpec, Workload};
 pub use stats::{GroupAggregate, GroupKey, SummaryStats};
+pub use tracefile::TraceDoc;

@@ -11,11 +11,12 @@ use crate::outcome::{
     AdaptiveMetrics, CosimMetrics, PlanCostMetrics, ScenarioOutcome, TrafficMetrics,
 };
 use crate::spec::{fidelity_name, ChipKind, Mode, Policy, ScenarioSpec, Workload};
-use hotnoc_core::adaptive::run_adaptive_cosim;
+use hotnoc_core::adaptive::run_adaptive_cosim_traced;
 use hotnoc_core::configs::Fidelity;
-use hotnoc_core::cosim::run_cosim;
+use hotnoc_core::cosim::run_cosim_traced;
 use hotnoc_core::{CalibratedPower, Chip, CosimParams};
 use hotnoc_noc::{Mesh, Network, NocConfig, TrafficGenerator};
+use hotnoc_obs::{TraceEvent, TraceSink, VecSink};
 use hotnoc_reconfig::phases::PhaseCostModel;
 use hotnoc_reconfig::{MigrationPlan, MigrationScheme, StateSpec};
 use std::collections::HashMap;
@@ -55,14 +56,64 @@ pub fn params_of(spec: &ScenarioSpec) -> CosimParams {
 /// calibration, thermal, NoC) errors.
 pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioOutcome, ScenarioError> {
     spec.validate().map_err(ScenarioError::Spec)?;
+    dispatch(spec, None)
+}
+
+/// Runs one scenario and also returns its deterministic event trace,
+/// bracketed by [`TraceEvent::JobStart`] / [`TraceEvent::JobFinish`]. The
+/// simulation is identical to [`run_scenario`] — tracing is observation
+/// only.
+///
+/// # Errors
+///
+/// As [`run_scenario`].
+pub fn run_scenario_traced(
+    spec: &ScenarioSpec,
+) -> Result<(ScenarioOutcome, Vec<TraceEvent>), ScenarioError> {
+    run_scenario_traced_as_job(spec, 0)
+}
+
+/// [`run_scenario_traced`] for a campaign job: `job` is the job's index in
+/// the stably-ordered expanded job list and lands in the bracket events.
+/// `JobFinish` is keyed by the highest cycle any event reached.
+///
+/// # Errors
+///
+/// As [`run_scenario`].
+pub fn run_scenario_traced_as_job(
+    spec: &ScenarioSpec,
+    job: u64,
+) -> Result<(ScenarioOutcome, Vec<TraceEvent>), ScenarioError> {
+    spec.validate().map_err(ScenarioError::Spec)?;
+    let mut sink = VecSink::new();
+    sink.record(TraceEvent::JobStart {
+        cycle: 0,
+        job,
+        name: spec.name.clone(),
+    });
+    let outcome = dispatch(spec, Some(&mut sink))?;
+    let mut events = sink.drain();
+    let end = events.iter().map(TraceEvent::cycle).max().unwrap_or(0);
+    events.push(TraceEvent::JobFinish {
+        cycle: end,
+        job,
+        name: spec.name.clone(),
+    });
+    Ok((outcome, events))
+}
+
+fn dispatch(
+    spec: &ScenarioSpec,
+    sink: Option<&mut dyn TraceSink>,
+) -> Result<ScenarioOutcome, ScenarioError> {
     match &spec.workload {
-        Workload::Ldpc => run_ldpc(spec),
+        Workload::Ldpc => run_ldpc(spec, sink),
         Workload::Traffic {
             pattern,
             rate,
             packet_len,
             cycles,
-        } => run_traffic(spec, pattern.clone(), *rate, *packet_len, *cycles),
+        } => run_traffic(spec, pattern.clone(), *rate, *packet_len, *cycles, sink),
     }
 }
 
@@ -99,7 +150,10 @@ fn calibrated_chip(
     Ok(Arc::clone(map.entry(key).or_insert(entry)))
 }
 
-fn run_ldpc(spec: &ScenarioSpec) -> Result<ScenarioOutcome, ScenarioError> {
+fn run_ldpc(
+    spec: &ScenarioSpec,
+    sink: Option<&mut dyn TraceSink>,
+) -> Result<ScenarioOutcome, ScenarioError> {
     let params = params_of(spec);
     let cached = calibrated_chip(&spec.chip, spec.fidelity)?;
     let (chip, cal) = (&cached.0, &cached.1);
@@ -108,15 +162,15 @@ fn run_ldpc(spec: &ScenarioSpec) -> Result<ScenarioOutcome, ScenarioError> {
             plan_cost(chip, cal, *scheme, &params),
         )),
         (Policy::Baseline, _) => {
-            let r = run_cosim(chip, cal, None, &params)?;
+            let r = run_cosim_traced(chip, cal, None, &params, sink)?;
             Ok(ScenarioOutcome::Cosim(CosimMetrics::of(&r)))
         }
         (Policy::Periodic { scheme, .. }, Mode::Cosim) => {
-            let r = run_cosim(chip, cal, Some(*scheme), &params)?;
+            let r = run_cosim_traced(chip, cal, Some(*scheme), &params, sink)?;
             Ok(ScenarioOutcome::Cosim(CosimMetrics::of(&r)))
         }
         (Policy::Adaptive { .. }, _) => {
-            let r = run_adaptive_cosim(chip, cal, &params)?;
+            let r = run_adaptive_cosim_traced(chip, cal, &params, sink)?;
             Ok(ScenarioOutcome::Adaptive(AdaptiveMetrics {
                 base_peak: r.base_peak,
                 peak: r.peak,
@@ -164,15 +218,27 @@ fn run_traffic(
     rate: f64,
     packet_len: u32,
     cycles: u64,
+    sink: Option<&mut dyn TraceSink>,
 ) -> Result<ScenarioOutcome, ScenarioError> {
     let mesh = Mesh::square(spec.chip.mesh_side())?;
     let mut net = Network::new(mesh, NocConfig::default());
+    if sink.is_some() {
+        // The network owns its sink for the duration of the run; events are
+        // handed back to the caller's sink afterwards.
+        net.set_trace_sink(Box::new(VecSink::new()));
+    }
     if !spec.faults.is_empty() {
         net.install_fault_plan(crate::spec::fault_plan_of(&spec.faults))?;
     }
     let mut gen = TrafficGenerator::new(mesh, pattern, rate, packet_len, spec.seed);
     let budget = cycles.saturating_mul(DRAIN_BUDGET_PER_CYCLE) + DRAIN_BUDGET_FLOOR;
     let (offered, drained) = gen.run(&mut net, cycles, budget);
+    if let Some(s) = sink {
+        let mut inner = net.take_trace_sink().expect("sink installed above");
+        for ev in inner.drain() {
+            s.record(ev);
+        }
+    }
     let stats = net.stats();
     Ok(ScenarioOutcome::Traffic(TrafficMetrics {
         offered,
@@ -227,6 +293,39 @@ mod tests {
         assert!(m.offered > 0);
         assert_eq!(m.delivered, m.offered);
         assert!(m.mean_latency_cycles > 0.0);
+    }
+
+    #[test]
+    fn traced_traffic_run_brackets_and_matches_untraced() {
+        use crate::spec::{FaultEventSpec, FaultKindSpec};
+        use hotnoc_noc::Coord;
+        let mut spec = traffic_spec(9);
+        spec.faults = vec![
+            FaultEventSpec {
+                at: 100,
+                kind: FaultKindSpec::FailRouter(Coord::new(1, 1)),
+            },
+            FaultEventSpec {
+                at: 250,
+                kind: FaultKindSpec::RepairRouter(Coord::new(1, 1)),
+            },
+        ];
+        let plain = run_scenario(&spec).unwrap();
+        let (traced, events) = run_scenario_traced(&spec).unwrap();
+        assert_eq!(plain, traced, "tracing must not perturb the run");
+        assert!(matches!(events.first(), Some(TraceEvent::JobStart { .. })));
+        assert!(matches!(events.last(), Some(TraceEvent::JobFinish { .. })));
+        let count = |kind: &str| events.iter().filter(|e| e.kind() == kind).count();
+        assert_eq!(count("router_failed"), 1);
+        assert_eq!(count("router_repaired"), 1);
+        assert_eq!(count("fault_epoch"), 2);
+        assert!(count("congestion") > 0, "traffic should register occupancy");
+        let cycles: Vec<u64> = events.iter().map(TraceEvent::cycle).collect();
+        assert!(cycles.windows(2).all(|w| w[0] <= w[1]), "order: {cycles:?}");
+        // The traced run serializes to a valid hotnoc-trace-v1 document.
+        let doc = crate::tracefile::TraceDoc::new(&spec.name, events);
+        let back = crate::tracefile::TraceDoc::parse(&doc.to_jsonl()).unwrap();
+        assert_eq!(back, doc);
     }
 
     #[test]
@@ -292,7 +391,7 @@ mod tests {
         };
         let mut chip = Chip::build(spec.chip.to_chip_spec(Fidelity::Quick)).unwrap();
         let cal = chip.calibrate().unwrap();
-        let direct = run_cosim(
+        let direct = hotnoc_core::cosim::run_cosim(
             &chip,
             &cal,
             Some(MigrationScheme::XYShift),

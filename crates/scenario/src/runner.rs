@@ -30,14 +30,17 @@ use crate::campaign::CampaignSpec;
 use crate::error::ScenarioError;
 use crate::json::Json;
 use crate::outcome::ScenarioOutcome;
-use crate::run::run_scenario;
+use crate::run::{run_scenario, run_scenario_traced_as_job};
 use crate::spec::ScenarioSpec;
 use crate::stats::{aggregate, aggregate_json, headline_metric};
+use crate::tracefile::TraceDoc;
+use hotnoc_obs::TraceEvent;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Schema tag of the `CAMPAIGN_<name>.json` artifact.
 pub const CAMPAIGN_SCHEMA: &str = "hotnoc-campaign-v1";
@@ -60,6 +63,9 @@ pub struct RunnerOptions {
     pub fresh: bool,
     /// Print one progress line per completed job to stderr.
     pub progress: bool,
+    /// Write each job's deterministic `hotnoc-trace-v1` event trace to
+    /// `TRACE_<campaign>.job<index>.jsonl` in this directory.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for RunnerOptions {
@@ -70,9 +76,16 @@ impl Default for RunnerOptions {
             max_jobs: None,
             fresh: false,
             progress: false,
+            trace_dir: None,
         }
     }
 }
+
+/// Heartbeat cadence: a progress/ETA line every this many completed jobs…
+const HEARTBEAT_JOBS: usize = 25;
+
+/// …or whenever this much wall time has passed since the last one.
+const HEARTBEAT_SECS: u64 = 10;
 
 /// One completed job.
 #[derive(Debug, Clone, PartialEq)]
@@ -162,6 +175,7 @@ pub fn run_campaign(
             ("fingerprint", Json::Str(fingerprint)),
             ("jobs", Json::int(jobs.len() as u64)),
         ]),
+        shard: None,
     };
     let sliced = execute_journaled(&slice, opts)?;
 
@@ -227,6 +241,10 @@ pub(crate) struct JournalSlice<'a> {
     /// different shard coordinates — restarts the journal instead of
     /// mixing results.
     pub header: Json,
+    /// `(shard, shard_count)` when this slice is a shard stripe; traced
+    /// jobs then carry a [`TraceEvent::ShardProgress`] record keyed by
+    /// stripe position (never completion order).
+    pub shard: Option<(u64, u64)>,
 }
 
 /// What [`execute_journaled`] produced for its slice.
@@ -282,6 +300,10 @@ pub(crate) fn execute_journaled(
     file.flush()
         .map_err(|e| ScenarioError::io(manifest_path, e))?;
 
+    if let Some(dir) = &opts.trace_dir {
+        std::fs::create_dir_all(dir).map_err(|e| ScenarioError::io(dir, e))?;
+    }
+
     // The work list: every owned job without a journaled outcome,
     // optionally truncated to simulate an interrupt.
     let mut pending: Vec<usize> = slice
@@ -303,6 +325,8 @@ pub(crate) fn execute_journaled(
     let manifest = Mutex::new(&mut file);
     let next = AtomicUsize::new(0);
     let finished = AtomicUsize::new(done.len());
+    let started = Instant::now();
+    let last_beat = Mutex::new(started);
     let threads = opts.threads.clamp(1, minipool::MAX_WORKERS);
     let pool = minipool::ThreadPool::new();
     pool.ensure_workers(threads.saturating_sub(1));
@@ -314,7 +338,7 @@ pub(crate) fn execute_journaled(
                     return;
                 };
                 let job = &jobs[index];
-                match run_scenario(job) {
+                match run_job(job, index, slice, opts.trace_dir.as_deref()) {
                     Ok(outcome) => {
                         let line = Json::object(vec![
                             ("job", Json::int(index as u64)),
@@ -332,19 +356,20 @@ pub(crate) fn execute_journaled(
                                 continue;
                             }
                         }
+                        let n = finished.fetch_add(1, Ordering::Relaxed) + 1;
                         if opts.progress {
-                            let n = finished.fetch_add(1, Ordering::Relaxed) + 1;
                             eprintln!(
                                 "[{n}/{}] {}: {}",
                                 slice.work.len(),
                                 job.name,
                                 outcome.summary()
                             );
+                            heartbeat(&started, &last_beat, n, slice.work.len(), resumed_jobs);
                         }
                         results.lock().expect("results lock")[index] = Some(Ok(outcome));
                     }
-                    Err(e) => {
-                        results.lock().expect("results lock")[index] = Some(Err(e.to_string()));
+                    Err(cause) => {
+                        results.lock().expect("results lock")[index] = Some(Err(cause));
                     }
                 }
             });
@@ -375,6 +400,76 @@ pub(crate) fn execute_journaled(
         resumed_jobs,
         executed_jobs,
     })
+}
+
+/// Executes one job, writing its deterministic event trace to
+/// `TRACE_<campaign>.job<index>.jsonl` when a trace directory is
+/// configured. The trace lands on disk *before* the job is journaled, so a
+/// journaled (resumable) job always has its trace; a kill in between
+/// re-runs the job and rewrites the identical bytes.
+fn run_job(
+    job: &ScenarioSpec,
+    index: usize,
+    slice: &JournalSlice<'_>,
+    trace_dir: Option<&Path>,
+) -> Result<ScenarioOutcome, String> {
+    let Some(dir) = trace_dir else {
+        return run_scenario(job).map_err(|e| e.to_string());
+    };
+    let (outcome, mut events) =
+        run_scenario_traced_as_job(job, index as u64).map_err(|e| e.to_string())?;
+    if let Some((shard, shard_count)) = slice.shard {
+        // Keyed by stripe position, not completion order, so sharded
+        // traces stay byte-deterministic at any thread count.
+        let position = slice.work.binary_search(&index).unwrap_or(0) as u64;
+        events.insert(
+            1,
+            TraceEvent::ShardProgress {
+                cycle: 0,
+                shard,
+                shard_count,
+                position,
+                stripe_len: slice.work.len() as u64,
+            },
+        );
+    }
+    let campaign = slice
+        .header
+        .get("name")
+        .and_then(Json::as_str)
+        .unwrap_or("campaign");
+    let path = dir.join(format!("TRACE_{campaign}.job{index}.jsonl"));
+    std::fs::write(&path, TraceDoc::new(&job.name, events).to_jsonl())
+        .map_err(|e| format!("trace write failed: {e}"))?;
+    Ok(outcome)
+}
+
+/// Emits the periodic progress/ETA heartbeat to stderr: due every
+/// [`HEARTBEAT_JOBS`] completions or [`HEARTBEAT_SECS`] of wall time,
+/// whichever comes first, and never on the final job (which has its own
+/// line). Wall-clock only — artifact bytes are untouched.
+fn heartbeat(
+    started: &Instant,
+    last_beat: &Mutex<Instant>,
+    done: usize,
+    total: usize,
+    resumed: usize,
+) {
+    let mut last = last_beat.lock().unwrap_or_else(|p| p.into_inner());
+    let due = done.is_multiple_of(HEARTBEAT_JOBS)
+        || last.elapsed() >= Duration::from_secs(HEARTBEAT_SECS);
+    if !due || done >= total {
+        return;
+    }
+    *last = Instant::now();
+    let fresh = done.saturating_sub(resumed);
+    let elapsed = started.elapsed().as_secs_f64();
+    let eta = if fresh > 0 {
+        format!("{:.0}s", elapsed / fresh as f64 * (total - done) as f64)
+    } else {
+        "?".to_string()
+    };
+    eprintln!("progress: {done}/{total} jobs, elapsed {elapsed:.0}s, eta {eta}");
 }
 
 /// What [`read_manifest`] recovered from a journal.
@@ -701,6 +796,71 @@ mod tests {
         let table = summary_table(&run);
         assert!(table.contains("6/6 jobs"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_dir_traces_are_thread_and_resume_invariant() {
+        let spec = tiny_campaign("unit-trace");
+        let read_traces = |dir: &Path| -> Vec<(String, String)> {
+            let mut out: Vec<(String, String)> = std::fs::read_dir(dir)
+                .expect("trace dir")
+                .map(|e| e.unwrap())
+                .filter(|e| e.file_name().to_string_lossy().starts_with("TRACE_"))
+                .map(|e| {
+                    (
+                        e.file_name().to_string_lossy().into_owned(),
+                        std::fs::read_to_string(e.path()).unwrap(),
+                    )
+                })
+                .collect();
+            out.sort();
+            out
+        };
+        let run_with = |tag: &str, threads: usize, max_jobs: Option<usize>| -> PathBuf {
+            let dir = tmp_dir(tag);
+            let opts = RunnerOptions {
+                threads,
+                out_dir: dir.clone(),
+                max_jobs,
+                trace_dir: Some(dir.join("traces")),
+                ..RunnerOptions::default()
+            };
+            run_campaign(&spec, &opts).expect("runs");
+            if max_jobs.is_some() {
+                // Resume to completion at a different thread count.
+                run_campaign(
+                    &spec,
+                    &RunnerOptions {
+                        threads: 4,
+                        max_jobs: None,
+                        ..opts
+                    },
+                )
+                .expect("resumes");
+            }
+            dir
+        };
+        let d1 = run_with("trace-t1", 1, None);
+        let d4 = run_with("trace-t4", 4, None);
+        let dk = run_with("trace-kill", 1, Some(2));
+        let t1 = read_traces(&d1.join("traces"));
+        assert_eq!(t1.len(), 6, "one trace per job");
+        assert_eq!(t1, read_traces(&d4.join("traces")), "thread-count variant");
+        assert_eq!(t1, read_traces(&dk.join("traces")), "kill/resume variant");
+        for (name, text) in &t1 {
+            let doc = TraceDoc::parse(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(matches!(
+                doc.events.first(),
+                Some(TraceEvent::JobStart { .. })
+            ));
+            assert!(matches!(
+                doc.events.last(),
+                Some(TraceEvent::JobFinish { .. })
+            ));
+        }
+        for d in [d1, d4, dk] {
+            let _ = std::fs::remove_dir_all(&d);
+        }
     }
 
     #[test]

@@ -186,6 +186,7 @@ pub fn run_campaign_shard(
             ("jobs", Json::int(jobs.len() as u64)),
             ("shard", shard.to_json()),
         ]),
+        shard: Some((shard.index as u64, shard.count as u64)),
     };
     let shard_jobs = slice.work.len();
     let sliced = execute_journaled(&slice, opts)?;

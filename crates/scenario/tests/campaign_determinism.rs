@@ -70,6 +70,7 @@ fn opts(dir: &std::path::Path, threads: usize) -> RunnerOptions {
         max_jobs: None,
         fresh: false,
         progress: false,
+        trace_dir: None,
     }
 }
 

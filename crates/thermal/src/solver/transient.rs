@@ -138,6 +138,7 @@ impl<'a> TransientSim<'a> {
     /// * [`ThermalError::NotConverged`] if the implicit solve breaks down
     ///   (defensive; the system is SPD by construction).
     pub fn step(&mut self, power_blocks: &[f64]) -> Result<(), ThermalError> {
+        let _t = hotnoc_obs::prof::scope("thermal/step");
         let mut rhs = std::mem::take(&mut self.rhs);
         let result = self.step_with_rhs(power_blocks, &mut rhs);
         self.rhs = rhs;

@@ -4,6 +4,7 @@
 //! Prevention Through Runtime Reconfiguration in Network-On-Chip", DATE
 //! 2005*. It re-exports the workspace crates:
 //!
+//! * [`obs`] — deterministic event tracing and the wall-clock profiler,
 //! * [`noc`] — cycle-accurate 2-D mesh NoC simulator,
 //! * [`ldpc`] — the LDPC-decoder workload mapped onto the NoC,
 //! * [`thermal`] — HotSpot-style block RC thermal simulator,
@@ -37,6 +38,7 @@
 pub use hotnoc_core as core;
 pub use hotnoc_ldpc as ldpc;
 pub use hotnoc_noc as noc;
+pub use hotnoc_obs as obs;
 pub use hotnoc_placement as placement;
 pub use hotnoc_power as power;
 pub use hotnoc_reconfig as reconfig;

@@ -26,6 +26,8 @@
 //! 4-thread sweep measured on a 1-core container is not comparable to the
 //! same id measured on an 8-core workstation.
 
+use hotnoc_scenario::json::Json;
+
 /// Current schema identifier.
 pub const SCHEMA: &str = "hotnoc-bench-v2";
 
@@ -191,79 +193,57 @@ pub fn parse_report(text: &str) -> Result<Vec<BenchRecord>, String> {
 /// Same as [`parse_report`]; additionally, a v2 document without an `env`
 /// object (or with a malformed one) is rejected.
 pub fn parse_document(text: &str) -> Result<BenchReport, String> {
-    let mut p = Parser {
-        bytes: text.as_bytes(),
-        pos: 0,
-    };
-    p.skip_ws();
-    let doc = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(format!("trailing data at byte {}", p.pos));
-    }
-    let Json::Object(fields) = doc else {
+    let doc = Json::parse(text)?;
+    if !matches!(doc, Json::Object(_)) {
         return Err("top level is not an object".into());
-    };
-    let schema = get_str(&fields, "schema")?.to_string();
+    }
+    let schema = doc.req_str("schema")?.to_string();
     if schema != SCHEMA && schema != SCHEMA_V1 {
         return Err(format!(
             "unknown schema {schema:?} (want {SCHEMA:?} or {SCHEMA_V1:?})"
         ));
     }
     let env = if schema == SCHEMA {
-        let Some(Json::Object(e)) = lookup(&fields, "env") else {
+        let Some(e) = doc.get("env").filter(|v| matches!(v, Json::Object(_))) else {
             return Err(format!("schema {SCHEMA:?} requires an \"env\" object"));
         };
-        let int = |k: &str| -> Result<u64, String> {
-            let v = get_num(e, k).map_err(|err| format!("env: {err}"))?;
-            if !v.is_finite() || v < 0.0 || v.fract() != 0.0 {
-                return Err(format!("env.{k} is not a non-negative integer"));
-            }
-            Ok(v as u64)
-        };
+        let int = |k: &str| e.req_u64(k).map_err(|err| format!("env: {err}"));
         Some(BenchEnv {
             threads: int("threads")?,
             available_parallelism: int("available_parallelism")?,
-            os: get_str(e, "os")
+            os: e
+                .req_str("os")
                 .map_err(|err| format!("env: {err}"))?
                 .to_string(),
         })
     } else {
         None
     };
-    let Some(Json::Array(items)) = lookup(&fields, "results") else {
-        return Err("missing \"results\" array".into());
-    };
+    let items = doc
+        .req_array("results")
+        .map_err(|_| "missing \"results\" array".to_string())?;
     let mut out = Vec::with_capacity(items.len());
     for (i, item) in items.iter().enumerate() {
-        let Json::Object(f) = item else {
+        if !matches!(item, Json::Object(_)) {
             return Err(format!("results[{i}] is not an object"));
-        };
-        let ctx = |e: String| format!("results[{i}]: {e}");
-        let num = |k: &str| -> Result<f64, String> {
-            let v = get_num(f, k).map_err(ctx)?;
-            if !v.is_finite() {
-                return Err(format!("results[{i}].{k} is not finite"));
-            }
-            Ok(v)
-        };
-        let int = |k: &str| -> Result<u64, String> {
-            let v = num(k)?;
-            if v < 0.0 || v.fract() != 0.0 {
-                return Err(format!("results[{i}].{k} is not a non-negative integer"));
-            }
-            Ok(v as u64)
-        };
+        }
+        let num = |k: &str| item.req_f64(k).map_err(|e| format!("results[{i}]: {e}"));
+        let int = |k: &str| item.req_u64(k).map_err(|e| format!("results[{i}]: {e}"));
         let rec = BenchRecord {
-            id: get_str(f, "id").map_err(ctx)?.to_string(),
-            mesh: match lookup(f, "mesh") {
+            id: item
+                .req_str("id")
+                .map_err(|e| format!("results[{i}]: {e}"))?
+                .to_string(),
+            mesh: match item.get("mesh") {
                 None => None,
                 Some(Json::Str(s)) => Some(s.clone()),
                 Some(_) => return Err(format!("results[{i}].mesh is not a string")),
             },
-            threads: match lookup(f, "threads") {
+            threads: match item.get("threads") {
                 None => None,
-                Some(_) => Some(int("threads")?),
+                Some(v) => Some(v.as_u64().ok_or_else(|| {
+                    format!("results[{i}].threads is not a non-negative integer")
+                })?),
             },
             batch_iters: int("batch_iters")?,
             iters: int("iters")?,
@@ -292,202 +272,6 @@ pub fn parse_document(text: &str) -> Result<BenchReport, String> {
         env,
         records: out,
     })
-}
-
-/// A parsed JSON value (only what the report schema needs; booleans and
-/// nulls are recognized but carry no payload the schema reads).
-enum Json {
-    Null,
-    Bool(#[allow(dead_code)] bool),
-    Num(f64),
-    Str(String),
-    Array(Vec<Json>),
-    Object(Vec<(String, Json)>),
-}
-
-fn lookup<'a>(fields: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
-    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-}
-
-fn get_str<'a>(fields: &'a [(String, Json)], key: &str) -> Result<&'a str, String> {
-    match lookup(fields, key) {
-        Some(Json::Str(s)) => Ok(s),
-        Some(_) => Err(format!("field {key:?} is not a string")),
-        None => Err(format!("missing field {key:?}")),
-    }
-}
-
-fn get_num(fields: &[(String, Json)], key: &str) -> Result<f64, String> {
-    match lookup(fields, key) {
-        Some(Json::Num(v)) => Ok(*v),
-        Some(_) => Err(format!("field {key:?} is not a number")),
-        None => Err(format!("missing field {key:?}")),
-    }
-}
-
-/// Minimal recursive-descent JSON parser (strict enough for validation).
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b" \t\r\n".contains(b))
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at byte {}", b as char, self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
-        }
-    }
-
-    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(v)
-        } else {
-            Err(format!("bad literal at byte {}", self.pos))
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Object(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            let val = self.value()?;
-            fields.push((key, val));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Object(fields));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Array(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Array(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                16,
-                            )
-                            .map_err(|e| e.to_string())?;
-                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
-                            self.pos += 4;
-                        }
-                        other => return Err(format!("bad escape {other:?}")),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
-                    let c = s.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while self
-            .peek()
-            .is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(&b))
-        {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|e| format!("bad number {text:?}: {e}"))
-    }
 }
 
 #[cfg(test)]
