@@ -10,6 +10,9 @@
 //! hotnoc scenario run --spec FILE [--trace FILE] [--profile FILE]
 //! hotnoc trace summary FILE
 //! hotnoc trace export --chrome FILE [--out FILE]
+//! hotnoc serve (--socket PATH | --tcp ADDR:PORT) [options]
+//! hotnoc serve --shutdown (--socket PATH | --tcp ADDR:PORT)
+//! hotnoc submit SPEC.json (--socket PATH | --tcp ADDR:PORT) [--id ID]
 //! ```
 //!
 //! The full contract (every flag, every exit code, artifact schemas) is
@@ -43,6 +46,7 @@ use hotnoc_scenario::shard::{
 use hotnoc_scenario::stats::{aggregate, aggregate_json};
 use hotnoc_scenario::tracefile::{profile_json, TraceDoc};
 use hotnoc_scenario::{diff_campaigns, run_scenario_traced, CampaignSpec, ScenarioSpec};
+use hotnoc_serve::Endpoint;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -63,6 +67,10 @@ USAGE:
     hotnoc scenario run --spec FILE [--trace FILE] [--profile FILE]
     hotnoc trace summary FILE
     hotnoc trace export --chrome FILE [--out FILE]
+    hotnoc serve (--socket PATH | --tcp ADDR:PORT) [--journal FILE]
+                 [--trace FILE] [--threads N] [--spool DIR]
+    hotnoc serve --shutdown (--socket PATH | --tcp ADDR:PORT)
+    hotnoc submit SPEC.json (--socket PATH | --tcp ADDR:PORT) [--id ID]
 
 OPTIONS:
     --builtin NAME   a built-in campaign (see `hotnoc campaign list`)
@@ -88,6 +96,18 @@ TRACE SUBCOMMAND (consumes hotnoc-trace-v1 files):
                            Perfetto / chrome://tracing); --out FILE writes
                            to a file instead of stdout
 
+SERVE / SUBMIT (the long-running submission daemon; see docs/SERVING.md):
+    --socket PATH    listen on (connect to) a unix-domain socket
+    --tcp ADDR:PORT  listen on (connect to) a TCP address instead
+    --journal FILE   persist computed results (hotnoc-serve-journal-v1);
+                     warm-loaded into the cache on the next start
+    --trace FILE     [serve] write the hotnoc-trace-v1 serving trace
+                     (cache-hit events) on shutdown
+    --spool DIR      campaign working state (default hotnoc-serve-spool)
+    --shutdown       ask a running daemon to drain gracefully and exit
+    --id ID          [submit] request id echoed on every response line
+                     (default: the spec's fingerprint)
+
 DIFF OPTIONS (campaign B is compared against the A baseline):
     --threshold-pct N      regression threshold in percent (default 15):
                            the gate trips when the median worsening ratio
@@ -112,6 +132,8 @@ fn main() -> ExitCode {
         ["scenario", "run", rest @ ..] => scenario_run(rest),
         ["trace", "summary", rest @ ..] => trace_summary(rest),
         ["trace", "export", rest @ ..] => trace_export(rest),
+        ["serve", rest @ ..] => serve_cmd(rest),
+        ["submit", rest @ ..] => submit_cmd(rest),
         ["help"] | ["--help"] | ["-h"] => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -678,4 +700,147 @@ fn trace_export(args: &[&str]) -> ExitCode {
         None => print!("{json}"),
     }
     ExitCode::SUCCESS
+}
+
+/// Resolves the daemon endpoint from `--socket` / `--tcp`.
+fn endpoint_of(socket: Option<&str>, tcp: Option<&str>) -> Result<Endpoint, String> {
+    match (socket, tcp) {
+        (Some(path), None) => Ok(Endpoint::Unix(PathBuf::from(path))),
+        (None, Some(addr)) => Ok(Endpoint::Tcp(addr.to_string())),
+        _ => Err("exactly one of --socket / --tcp is required".to_string()),
+    }
+}
+
+fn serve_cmd(args: &[&str]) -> ExitCode {
+    let flags = match Flags::parse(
+        args,
+        &[
+            "--socket",
+            "--tcp",
+            "--journal",
+            "--trace",
+            "--threads",
+            "--spool",
+        ],
+        &["--shutdown"],
+    ) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&e),
+    };
+    let endpoint = match endpoint_of(flags.get("--socket"), flags.get("--tcp")) {
+        Ok(e) => e,
+        Err(e) => return usage_error(&e),
+    };
+    if flags.has("--shutdown") {
+        // The graceful-drain path: ask the daemon to finish in-flight work
+        // and exit. A daemon that isn't there is a runtime failure (1).
+        return match hotnoc_serve::shutdown(&endpoint) {
+            Ok(ack) => {
+                println!("{ack}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("hotnoc: {endpoint}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let threads = match flags.get("--threads").map(str::parse::<usize>).transpose() {
+        Ok(t) => t.unwrap_or_else(minipool::configured_threads).max(1),
+        Err(e) => return usage_error(&format!("bad --threads: {e}")),
+    };
+    let opts = hotnoc_serve::ServeOptions {
+        endpoint,
+        threads,
+        journal: flags.get("--journal").map(PathBuf::from),
+        trace: flags.get("--trace").map(PathBuf::from),
+        spool: PathBuf::from(flags.get("--spool").unwrap_or("hotnoc-serve-spool")),
+    };
+    match hotnoc_serve::serve(&opts) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("hotnoc: serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn submit_cmd(args: &[&str]) -> ExitCode {
+    let mut spec_path: Option<&str> = None;
+    let mut socket: Option<&str> = None;
+    let mut tcp: Option<&str> = None;
+    let mut id: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(&arg) = it.next() {
+        match arg {
+            "--socket" | "--tcp" | "--id" => {
+                let Some(&v) = it.next() else {
+                    return usage_error(&format!("{arg} needs a value"));
+                };
+                *match arg {
+                    "--socket" => &mut socket,
+                    "--tcp" => &mut tcp,
+                    _ => &mut id,
+                } = Some(v);
+            }
+            other if other.starts_with("--") => {
+                return usage_error(&format!("unknown flag {other:?}"))
+            }
+            p if spec_path.is_none() => spec_path = Some(p),
+            _ => return usage_error("submit takes exactly one SPEC.json"),
+        }
+    }
+    let endpoint = match endpoint_of(socket, tcp) {
+        Ok(e) => e,
+        Err(e) => return usage_error(&e),
+    };
+    let Some(path) = spec_path else {
+        return usage_error("submit needs a SPEC.json file");
+    };
+    // An unreadable or invalid spec is bad input (exit 2) — nothing
+    // reached the daemon yet.
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("hotnoc: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let spec = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("hotnoc: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Validate locally and derive the default request id (the spec's
+    // fingerprint, so repeat submissions of the same file produce
+    // byte-identical responses), classifying exactly as the daemon does:
+    // a "schema" field marks a campaign.
+    let fingerprint = if spec.get("schema").is_some() {
+        CampaignSpec::from_json(&spec).map(|c| c.fingerprint())
+    } else {
+        ScenarioSpec::from_json(&spec).map(|s| s.fingerprint())
+    };
+    let fingerprint = match fingerprint {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("hotnoc: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let line = hotnoc_serve::submit_line(id.unwrap_or(&fingerprint), &spec);
+    match hotnoc_serve::request(&endpoint, &line) {
+        Ok(lines) => {
+            for l in &lines {
+                println!("{l}");
+            }
+            let status = hotnoc_serve::response_status(&lines);
+            ExitCode::from(u8::try_from(status).unwrap_or(1))
+        }
+        Err(e) => {
+            eprintln!("hotnoc: {endpoint}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -1,0 +1,41 @@
+//! Regression pin for the aggregate artifact bytes: re-aggregating the
+//! committed campaign fixture must reproduce the committed golden
+//! aggregate exactly. The empty-histogram aggregation rule (fully-dropped
+//! traffic records contribute no latency samples) must never perturb
+//! artifacts built from healthy records like these.
+
+use hotnoc_scenario::runner::parse_campaign_document;
+use hotnoc_scenario::stats::{aggregate, aggregate_json};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn fixture_aggregate_bytes_are_pinned() {
+    let text = std::fs::read_to_string(fixture("CAMPAIGN_fix-a.json")).unwrap();
+    let doc = parse_campaign_document(&text).expect("fixture validates");
+    // The pin only proves what it claims while the fixture's records are
+    // healthy (delivered > 0 everywhere).
+    for rec in &doc.records {
+        match &rec.outcome {
+            hotnoc_scenario::ScenarioOutcome::Traffic(m) => {
+                assert!(m.delivered > 0, "fixture record {} is degraded", rec.index);
+            }
+            other => panic!("unexpected outcome kind {:?}", other.kind()),
+        }
+    }
+    let got = aggregate_json(&doc.spec, &aggregate(&doc.records));
+    let golden_path = fixture("CAMPAIGN_fix-a.aggregate.golden.json");
+    if std::env::var_os("HOTNOC_REGEN_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &got).unwrap();
+    }
+    let golden = std::fs::read_to_string(&golden_path).expect("committed golden aggregate");
+    assert_eq!(
+        got, golden,
+        "aggregate bytes drifted from the committed golden"
+    );
+}

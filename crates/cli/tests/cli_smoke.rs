@@ -221,6 +221,62 @@ fn scenario_run_with_degraded_fabric_reports_fault_counters() {
 }
 
 #[test]
+fn scenario_run_accepts_repair_before_fail_as_a_no_op() {
+    // Pinned semantics (mirrors the fault.rs unit tests): a repair event
+    // scheduled before any matching fail is valid input and a deterministic
+    // runtime no-op — exit 0 with a normal outcome, not exit 2.
+    let dir = tmp_dir("repair-first");
+    let spec = dir.join("repair-first.json");
+    std::fs::write(
+        &spec,
+        r#"{
+  "name": "repair-first",
+  "chip": {"config": "A"},
+  "workload": {"kind": "traffic", "pattern": "uniform", "rate": 0.05, "packet_len": 2, "cycles": 150},
+  "policy": {"kind": "baseline"},
+  "mode": "cosim",
+  "fidelity": "quick",
+  "faults": [
+    {"at": 10, "repair_router": [1, 1]},
+    {"at": 20, "repair_link": [[0, 0], [1, 0]]}
+  ],
+  "seed": 3
+}"#,
+    )
+    .unwrap();
+    let run = hotnoc()
+        .args(["scenario", "run", "--spec"])
+        .arg(&spec)
+        .output()
+        .expect("spawn");
+    assert_eq!(run.status.code(), Some(0), "stderr: {}", stderr(&run));
+    let text = stdout(&run);
+    assert!(text.contains("\"kind\": \"traffic\""), "{text}");
+
+    // Byte-identical to the same scenario without the no-op events: strip
+    // the faults (the spec *content* differs, but the outcome must not).
+    let clean = dir.join("clean.json");
+    let body = std::fs::read_to_string(&spec).unwrap();
+    let start = body.find("  \"faults\"").expect("faults field present");
+    let end = body[start..].find("],\n").expect("faults array ends") + start + 3;
+    let mut stripped = body.clone();
+    stripped.replace_range(start..end, "");
+    std::fs::write(&clean, stripped).unwrap();
+    let clean_run = hotnoc()
+        .args(["scenario", "run", "--spec"])
+        .arg(&clean)
+        .output()
+        .expect("spawn");
+    assert_eq!(clean_run.status.code(), Some(0), "{}", stderr(&clean_run));
+    assert_eq!(
+        stdout(&run),
+        stdout(&clean_run),
+        "no-op repairs changed the outcome"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn scenario_run_rejects_out_of_bounds_fault_as_bad_input() {
     // A fault plan naming a router outside the mesh is bad input: exit 2
     // with a message pointing at the offending event — never a panic, and

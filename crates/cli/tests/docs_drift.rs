@@ -1,9 +1,9 @@
 //! Anti-rot enforcement for the `docs/` book:
 //!
-//! * every ` ```sh run ` block in `docs/OPERATIONS.md` is executed, in
-//!   order, against the real `hotnoc` binary (CARGO_BIN_EXE) in one
-//!   shared scratch directory — if the runbook drifts from the CLI, this
-//!   test fails;
+//! * every ` ```sh run ` block in `docs/OPERATIONS.md` and
+//!   `docs/SERVING.md` is executed, in order, against the real `hotnoc`
+//!   binary (CARGO_BIN_EXE) in one shared scratch directory per document
+//!   — if a runbook drifts from the CLI, this test fails;
 //! * every `hotnoc-*-vN` schema id named in `docs/ARTIFACTS.md` must
 //!   appear in the source tree — documenting a schema nothing emits (or
 //!   renaming one without updating the reference) fails.
@@ -50,23 +50,22 @@ fn fenced_blocks(markdown: &str, tag: &str) -> Vec<String> {
     blocks
 }
 
-/// The OPERATIONS.md runbook actually works: every runnable block
-/// succeeds against the current binary, sequentially, sharing one
-/// working directory (later blocks consume earlier blocks' outputs).
-#[test]
-fn operations_runbook_blocks_execute_against_the_binary() {
-    let doc = std::fs::read_to_string(repo_root().join("docs/OPERATIONS.md"))
-        .expect("read docs/OPERATIONS.md");
+/// Replays a document's ` ```sh run ` blocks against the current binary,
+/// sequentially, sharing one working directory (later blocks consume
+/// earlier blocks' outputs).
+fn replay_doc_blocks(doc_rel: &str, tag: &str, min_blocks: usize) {
+    let doc = std::fs::read_to_string(repo_root().join(doc_rel))
+        .unwrap_or_else(|e| panic!("{doc_rel}: {e}"));
     let blocks = fenced_blocks(&doc, "sh run");
     assert!(
-        blocks.len() >= 4,
-        "expected a substantial runbook, found {} runnable block(s)",
+        blocks.len() >= min_blocks,
+        "expected a substantial runbook in {doc_rel}, found {} runnable block(s)",
         blocks.len()
     );
 
     // Put a `hotnoc` symlink to the test binary on PATH so the blocks
     // read exactly like real fleet commands.
-    let work = scratch_dir("ops");
+    let work = scratch_dir(tag);
     let bin_dir = work.join(".bin");
     std::fs::create_dir_all(&bin_dir).expect("create bin dir");
     #[cfg(unix)]
@@ -101,6 +100,20 @@ fn operations_runbook_blocks_execute_against_the_binary() {
         );
     }
     let _ = std::fs::remove_dir_all(&work);
+}
+
+/// The OPERATIONS.md fleet runbook actually works.
+#[test]
+fn operations_runbook_blocks_execute_against_the_binary() {
+    replay_doc_blocks("docs/OPERATIONS.md", "ops", 4);
+}
+
+/// The SERVING.md daemon walkthrough actually works: start a daemon,
+/// submit the same spec twice (`cmp`-identical, second from cache),
+/// survive a bad spec, drain cleanly.
+#[test]
+fn serving_reference_blocks_execute_against_the_binary() {
+    replay_doc_blocks("docs/SERVING.md", "serving", 4);
 }
 
 /// Collects every `hotnoc-...-vN` schema token in `text`.
@@ -164,6 +177,7 @@ fn artifacts_reference_matches_source_schemas() {
         "hotnoc-bench-v2",
         "hotnoc-trace-v1",
         "hotnoc-profile-v1",
+        "hotnoc-serve-journal-v1",
     ] {
         assert!(
             documented.iter().any(|d| d == required),

@@ -654,6 +654,43 @@ mod tests {
     }
 
     #[test]
+    fn repair_before_any_fail_is_accepted_and_a_runtime_no_op() {
+        // Pinned semantics: a repair scheduled before (or without) any
+        // matching fail event is NOT a plan error. `validate` checks only
+        // coordinates and adjacency, so such a plan is accepted, and
+        // applying the repair to a live component reports "no change" —
+        // the run is byte-identical to one without the event. This keeps
+        // plan validation stateless (events may be pushed in any order and
+        // are only sorted at install time).
+        let mesh = Mesh::square(4).unwrap();
+        let plan = FaultPlan::new()
+            .repair_router(5, Coord::new(1, 1))
+            .repair_link(7, Coord::new(0, 0), Coord::new(1, 0));
+        assert!(plan.validate(mesh).is_ok());
+
+        let mut s = FaultState::healthy(mesh);
+        let id = mesh.node_id(Coord::new(1, 1)).unwrap().index();
+        assert!(
+            !s.set_router(id, true),
+            "repairing a live router must report no state change"
+        );
+        let a = mesh.node_id(Coord::new(0, 0)).unwrap().index();
+        assert!(
+            !s.set_link(mesh, a, Direction::East, true),
+            "repairing a live link must report no state change"
+        );
+        assert!(!s.active(), "no-op repairs must not activate detour tables");
+        assert_eq!(s.disabled_routers(), 0);
+        assert_eq!(s.disabled_links(), 0);
+
+        // Out-of-bounds coordinates are still rejected, even on repairs.
+        let oob = FaultPlan::new().repair_router(5, Coord::new(9, 9));
+        assert!(oob.validate(mesh).is_err());
+        let nonadj = FaultPlan::new().repair_link(5, Coord::new(0, 0), Coord::new(2, 0));
+        assert!(nonadj.validate(mesh).is_err());
+    }
+
+    #[test]
     fn plan_validation_catches_bad_events() {
         let mesh = Mesh::square(4).unwrap();
         let ok = FaultPlan::new()

@@ -168,6 +168,18 @@ pub enum TraceEvent {
         /// The chosen scheme, `Display`-rendered.
         scheme: String,
     },
+    /// The serving layer answered a submission from its result cache
+    /// instead of recomputing (`hotnoc serve`; the response bytes are
+    /// identical to the first computation's). `cycle` is the hit ordinal —
+    /// serving events have no sim time of their own.
+    CacheHit {
+        /// Hit ordinal (1-based, in service order).
+        cycle: u64,
+        /// FNV-1a fingerprint of the cached spec.
+        fingerprint: String,
+        /// Name of the cached scenario.
+        name: String,
+    },
     /// A migration executed, with its cost model outputs.
     Migration {
         /// Sim cycle the migration committed.
@@ -209,6 +221,7 @@ impl TraceEvent {
             | TraceEvent::Congestion { cycle, .. }
             | TraceEvent::TempCrossing { cycle, .. }
             | TraceEvent::PolicyDecision { cycle, .. }
+            | TraceEvent::CacheHit { cycle, .. }
             | TraceEvent::Migration { cycle, .. } => cycle,
         }
     }
@@ -230,12 +243,13 @@ impl TraceEvent {
             TraceEvent::Congestion { .. } => "congestion",
             TraceEvent::TempCrossing { .. } => "temp_crossing",
             TraceEvent::PolicyDecision { .. } => "policy_decision",
+            TraceEvent::CacheHit { .. } => "cache_hit",
             TraceEvent::Migration { .. } => "migration",
         }
     }
 
     /// Every kind tag, in taxonomy order (used by validators and docs).
-    pub const KINDS: [&'static str; 14] = [
+    pub const KINDS: [&'static str; 15] = [
         "job_start",
         "job_finish",
         "shard_progress",
@@ -249,6 +263,7 @@ impl TraceEvent {
         "congestion",
         "temp_crossing",
         "policy_decision",
+        "cache_hit",
         "migration",
     ];
 }

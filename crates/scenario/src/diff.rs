@@ -410,6 +410,36 @@ mod tests {
     }
 
     #[test]
+    fn single_seed_groups_are_inconclusive_never_nan() {
+        // n = 1 sits on the t-table edge: `t_critical_95(0)` is infinite
+        // and `ci95()` is None, so the CI-overlap test cannot run. The
+        // verdict must land on `inconclusive` with finite medians/ratios —
+        // never a NaN-poisoned comparison.
+        let a = run_to_doc(&traffic_campaign("diff-n1a", vec![1]), "n1a");
+        let b = run_to_doc(&traffic_campaign("diff-n1b", vec![2]), "n1b");
+        let report = diff_campaigns(&a, &b, 15.0);
+        assert_eq!(report.groups.len(), 2);
+        for g in &report.groups {
+            assert_eq!(g.n_a, 1);
+            assert_eq!(g.n_b, 1);
+            assert!(
+                matches!(g.verdict, Verdict::Inconclusive | Verdict::Equal),
+                "n=1 group {} claimed {:?}",
+                g.key,
+                g.verdict
+            );
+            assert!(g.median_a.is_finite(), "median A is {}", g.median_a);
+            assert!(g.median_b.is_finite(), "median B is {}", g.median_b);
+            assert!(g.ratio.is_finite(), "ratio is {}", g.ratio);
+        }
+        let med = report.median_ratio().expect("two aligned groups");
+        assert!(med.is_finite());
+        let rendered = report.render();
+        assert!(rendered.contains("inconclusive"), "{rendered}");
+        assert!(!rendered.contains("NaN"), "{rendered}");
+    }
+
+    #[test]
     fn worsening_ratio_orientation() {
         // Lower-is-better: B larger = worse.
         assert!(worsening_ratio(10.0, 13.0, Direction::LowerIsBetter) > 1.2);

@@ -145,6 +145,22 @@ pub fn run_campaign(
     spec: &CampaignSpec,
     opts: &RunnerOptions,
 ) -> Result<CampaignRun, ScenarioError> {
+    run_campaign_on(spec, opts, &minipool::ThreadPool::new())
+}
+
+/// [`run_campaign`] on a caller-owned pool. A resident process (the serve
+/// daemon) keeps one warm pool across submissions instead of spinning up
+/// threads per campaign; `opts.threads` still bounds how many workers this
+/// run asks the pool to provide. Artifact bytes are identical either way.
+///
+/// # Errors
+///
+/// As [`run_campaign`].
+pub fn run_campaign_on(
+    spec: &CampaignSpec,
+    opts: &RunnerOptions,
+    pool: &minipool::ThreadPool,
+) -> Result<CampaignRun, ScenarioError> {
     spec.validate().map_err(ScenarioError::Spec)?;
     let jobs = spec.expand();
     let fingerprint = spec.fingerprint();
@@ -177,7 +193,7 @@ pub fn run_campaign(
         ]),
         shard: None,
     };
-    let sliced = execute_journaled(&slice, opts)?;
+    let sliced = execute_journaled_on(&slice, opts, pool)?;
 
     let completed: Vec<JobRecord> = sliced
         .outcomes
@@ -265,6 +281,15 @@ pub(crate) fn execute_journaled(
     slice: &JournalSlice<'_>,
     opts: &RunnerOptions,
 ) -> Result<SliceOutcome, ScenarioError> {
+    execute_journaled_on(slice, opts, &minipool::ThreadPool::new())
+}
+
+/// [`execute_journaled`] on a caller-owned pool (see [`run_campaign_on`]).
+pub(crate) fn execute_journaled_on(
+    slice: &JournalSlice<'_>,
+    opts: &RunnerOptions,
+    pool: &minipool::ThreadPool,
+) -> Result<SliceOutcome, ScenarioError> {
     let jobs = slice.jobs;
     let manifest_path = &slice.manifest_path;
 
@@ -328,7 +353,6 @@ pub(crate) fn execute_journaled(
     let started = Instant::now();
     let last_beat = Mutex::new(started);
     let threads = opts.threads.clamp(1, minipool::MAX_WORKERS);
-    let pool = minipool::ThreadPool::new();
     pool.ensure_workers(threads.saturating_sub(1));
     pool.scope(|s| {
         for _ in 0..threads {
@@ -337,6 +361,18 @@ pub(crate) fn execute_journaled(
                 let Some(&index) = pending.get(slot) else {
                     return;
                 };
+                if opts.progress {
+                    // Time-based check at the poll point: one long job past
+                    // the cadence must not silence the heartbeat just
+                    // because nothing *completed*.
+                    poll_heartbeat(
+                        &started,
+                        &last_beat,
+                        finished.load(Ordering::Relaxed),
+                        slice.work.len(),
+                        resumed_jobs,
+                    );
+                }
                 let job = &jobs[index];
                 match run_job(job, index, slice, opts.trace_dir.as_deref()) {
                     Ok(outcome) => {
@@ -462,14 +498,47 @@ fn heartbeat(
         return;
     }
     *last = Instant::now();
+    drop(last);
+    emit_progress(started, done, total, resumed);
+}
+
+/// The time-only heartbeat checked where workers pull their next job: a
+/// single long-running job can keep every completion-boundary beat away for
+/// far longer than [`HEARTBEAT_SECS`], so the poll point beats on wall time
+/// alone.
+fn poll_heartbeat(
+    started: &Instant,
+    last_beat: &Mutex<Instant>,
+    done: usize,
+    total: usize,
+    resumed: usize,
+) {
+    let mut last = last_beat.lock().unwrap_or_else(|p| p.into_inner());
+    if last.elapsed() < Duration::from_secs(HEARTBEAT_SECS) || done >= total {
+        return;
+    }
+    *last = Instant::now();
+    drop(last);
+    emit_progress(started, done, total, resumed);
+}
+
+/// Prints one `progress:` line to stderr.
+fn emit_progress(started: &Instant, done: usize, total: usize, resumed: usize) {
     let fresh = done.saturating_sub(resumed);
     let elapsed = started.elapsed().as_secs_f64();
-    let eta = if fresh > 0 {
-        format!("{:.0}s", elapsed / fresh as f64 * (total - done) as f64)
-    } else {
-        "?".to_string()
-    };
+    let eta = eta_text(fresh, elapsed, total - done);
     eprintln!("progress: {done}/{total} jobs, elapsed {elapsed:.0}s, eta {eta}");
+}
+
+/// Renders the heartbeat's ETA column. Until at least one *fresh* job has
+/// finished — an all-resumed run, or a poll-point beat before the first
+/// completion — there is no rate to extrapolate from and the placeholder is
+/// printed (never a division by zero).
+fn eta_text(fresh: usize, elapsed_secs: f64, remaining: usize) -> String {
+    if fresh == 0 {
+        return "?".to_string();
+    }
+    format!("{:.0}s", elapsed_secs / fresh as f64 * remaining as f64)
 }
 
 /// What [`read_manifest`] recovered from a journal.
@@ -1078,6 +1147,72 @@ mod tests {
             "stale CAMPAIGN json from the old spec still present"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eta_is_a_placeholder_until_a_fresh_job_finishes() {
+        // fresh == 0 (all-resumed run, or a poll-point beat before the
+        // first completion): placeholder, never a division by zero.
+        assert_eq!(eta_text(0, 5.0, 3), "?");
+        assert_eq!(eta_text(0, 0.0, 0), "?");
+        assert_eq!(eta_text(2, 10.0, 4), "20s");
+    }
+
+    #[test]
+    fn poll_heartbeat_beats_on_wall_time_and_resets_the_cadence_clock() {
+        let started = Instant::now();
+        let backdated = Instant::now() - Duration::from_secs(HEARTBEAT_SECS + 1);
+        let last = Mutex::new(backdated);
+        // Due, with fresh == 0 (done == resumed): must print the "?" ETA
+        // path without panicking and reset the cadence clock.
+        poll_heartbeat(&started, &last, 3, 10, 3);
+        assert!(
+            last.lock().unwrap().elapsed() < Duration::from_secs(HEARTBEAT_SECS),
+            "a due beat must reset the cadence clock"
+        );
+        // Not due again immediately afterwards.
+        let before = *last.lock().unwrap();
+        poll_heartbeat(&started, &last, 3, 10, 3);
+        assert_eq!(*last.lock().unwrap(), before);
+        // Never beats once the slice is finished (the final job has its
+        // own completion line).
+        *last.lock().unwrap() = backdated;
+        poll_heartbeat(&started, &last, 10, 10, 0);
+        assert_eq!(*last.lock().unwrap(), backdated);
+    }
+
+    #[test]
+    fn resident_pool_run_matches_private_pool_bytes() {
+        let spec = tiny_campaign("unit-resident");
+        let pool = minipool::ThreadPool::new();
+        let d1 = tmp_dir("resident-a");
+        let d2 = tmp_dir("resident-b");
+        let on = run_campaign_on(
+            &spec,
+            &RunnerOptions {
+                threads: 2,
+                out_dir: d1.clone(),
+                ..RunnerOptions::default()
+            },
+            &pool,
+        )
+        .expect("resident pool run");
+        // Second run on the *same* warm pool, different directory.
+        let again = run_campaign_on(
+            &spec,
+            &RunnerOptions {
+                threads: 2,
+                out_dir: d2.clone(),
+                ..RunnerOptions::default()
+            },
+            &pool,
+        )
+        .expect("warm pool re-run");
+        let a = std::fs::read(on.json_path.as_ref().unwrap()).unwrap();
+        let b = std::fs::read(again.json_path.as_ref().unwrap()).unwrap();
+        assert_eq!(a, b, "warm-pool re-run changed artifact bytes");
+        let _ = std::fs::remove_dir_all(&d1);
+        let _ = std::fs::remove_dir_all(&d2);
     }
 
     #[test]

@@ -578,6 +578,21 @@ impl ScenarioSpec {
         }
         Ok(())
     }
+
+    /// FNV-1a hash of the canonical spec JSON, as 16 lowercase hex digits —
+    /// the same construction as [`crate::campaign::CampaignSpec::fingerprint`],
+    /// so two hosts agree on a scenario's identity iff they agree on its
+    /// canonical bytes. The serving layer keys its result cache on
+    /// `(fingerprint, seed)`.
+    pub fn fingerprint(&self) -> String {
+        let text = self.to_json().to_string();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in text.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
 }
 
 /// Canonical name of a fidelity level.

@@ -259,15 +259,24 @@ pub fn outcome_metrics(outcome: &ScenarioOutcome) -> Vec<(&'static str, f64)> {
             ("energy_uj", m.energy_uj),
             ("moves", m.moves as f64),
         ],
-        ScenarioOutcome::Traffic(m) => vec![
-            ("mean_latency_cycles", m.mean_latency_cycles),
-            ("p50_latency_cycles", m.p50_latency_cycles as f64),
-            ("p95_latency_cycles", m.p95_latency_cycles as f64),
-            ("max_latency_cycles", m.max_latency_cycles as f64),
-            ("offered", m.offered as f64),
-            ("delivered", m.delivered as f64),
-            ("flit_hops", m.flit_hops as f64),
-        ],
+        ScenarioOutcome::Traffic(m) => {
+            // The latency fields use 0 as their "nothing was delivered"
+            // sentinel; a fully-dropped degraded run has no latency
+            // *samples*, and letting its sentinels into a group would drag
+            // the medians towards a 0-cycle latency that never happened.
+            // NaN keeps the metric slot (and its serialized position) while
+            // [`SummaryStats::record`] drops the non-sample.
+            let latency = |x: f64| if m.delivered > 0 { x } else { f64::NAN };
+            vec![
+                ("mean_latency_cycles", latency(m.mean_latency_cycles)),
+                ("p50_latency_cycles", latency(m.p50_latency_cycles as f64)),
+                ("p95_latency_cycles", latency(m.p95_latency_cycles as f64)),
+                ("max_latency_cycles", latency(m.max_latency_cycles as f64)),
+                ("offered", m.offered as f64),
+                ("delivered", m.delivered as f64),
+                ("flit_hops", m.flit_hops as f64),
+            ]
+        }
     }
 }
 
@@ -495,6 +504,97 @@ mod tests {
         // No seed suffix: the whole name is the group.
         assert_eq!(GroupKey::of_name("plain-name").as_str(), "plain-name");
         assert_eq!(GroupKey::of_name("a/sX").as_str(), "a/sX");
+    }
+
+    #[test]
+    fn empty_histogram_records_do_not_drag_latency_aggregates() {
+        use crate::outcome::TrafficMetrics;
+        use crate::spec::ScenarioSpec;
+        let spec = |seed: u64| {
+            ScenarioSpec::parse(&format!(
+                r#"{{"name": "A/w0:traffic:uniform/baseline/s{seed}",
+                     "chip": {{"config": "A"}},
+                     "workload": {{"kind": "traffic", "pattern": "uniform", "rate": 0.05, "packet_len": 2, "cycles": 100}},
+                     "policy": {{"kind": "baseline"}},
+                     "mode": "cosim", "fidelity": "quick", "seed": {seed}}}"#
+            ))
+            .expect("spec parses")
+        };
+        let healthy = |latency: f64| {
+            ScenarioOutcome::Traffic(TrafficMetrics {
+                offered: 20,
+                delivered: 18,
+                drained: true,
+                mean_latency_cycles: latency,
+                p50_latency_cycles: latency as u64,
+                p95_latency_cycles: latency as u64 + 2,
+                max_latency_cycles: latency as u64 + 5,
+                flit_hops: 100,
+                packets_dropped: 0,
+                flits_dropped: 0,
+                detour_hops: 0,
+            })
+        };
+        // A fully-dropped degraded run: the latency fields are the 0
+        // "nothing delivered" sentinel, not real samples.
+        let dropped = ScenarioOutcome::Traffic(TrafficMetrics {
+            offered: 20,
+            delivered: 0,
+            drained: true,
+            mean_latency_cycles: 0.0,
+            p50_latency_cycles: 0,
+            p95_latency_cycles: 0,
+            max_latency_cycles: 0,
+            flit_hops: 0,
+            packets_dropped: 20,
+            flits_dropped: 40,
+            detour_hops: 0,
+        });
+        // The degraded record comes FIRST, so the fix must still create
+        // the latency slots in canonical order for the later samples.
+        let records = vec![
+            JobRecord {
+                index: 0,
+                spec: spec(1),
+                outcome: dropped,
+            },
+            JobRecord {
+                index: 1,
+                spec: spec(2),
+                outcome: healthy(8.0),
+            },
+            JobRecord {
+                index: 2,
+                spec: spec(3),
+                outcome: healthy(10.0),
+            },
+        ];
+        let groups = aggregate(&records);
+        assert_eq!(groups.len(), 1);
+        let g = &groups[0];
+        assert_eq!(g.n, 3, "the degraded record still belongs to the group");
+        let names: Vec<&str> = g.metrics.iter().map(|(m, _)| *m).collect();
+        assert_eq!(
+            names,
+            [
+                "mean_latency_cycles",
+                "p50_latency_cycles",
+                "p95_latency_cycles",
+                "max_latency_cycles",
+                "offered",
+                "delivered",
+                "flit_hops"
+            ],
+            "slot order must stay canonical"
+        );
+        let mean = g.metric("mean_latency_cycles").unwrap();
+        assert_eq!(mean.count(), 2, "the sentinel must not be a sample");
+        assert_eq!(mean.median(), Some(9.0), "sentinel dragged the median");
+        assert_eq!(mean.min(), Some(8.0));
+        // The throughput counters still see all three records.
+        assert_eq!(g.metric("offered").unwrap().count(), 3);
+        assert_eq!(g.metric("delivered").unwrap().median(), Some(18.0));
+        assert_eq!(g.metric("delivered").unwrap().min(), Some(0.0));
     }
 
     #[test]

@@ -335,6 +335,16 @@ impl TraceDoc {
                     format!("decision {decision}: {scheme}"),
                     vec![],
                 )),
+                TraceEvent::CacheHit {
+                    cycle,
+                    fingerprint,
+                    name,
+                } => events.push(instant(
+                    RUNNER,
+                    *cycle,
+                    format!("cache hit: {name}"),
+                    vec![("fingerprint", Json::str(fingerprint))],
+                )),
                 TraceEvent::Migration {
                     cycle,
                     scheme,
@@ -453,6 +463,12 @@ pub fn event_to_json(ev: &TraceEvent) -> Json {
             fields.push(("decision", Json::int(*decision)));
             fields.push(("scheme", Json::str(scheme)));
         }
+        TraceEvent::CacheHit {
+            fingerprint, name, ..
+        } => {
+            fields.push(("fingerprint", Json::str(fingerprint)));
+            fields.push(("name", Json::str(name)));
+        }
         TraceEvent::Migration {
             scheme,
             phases,
@@ -568,6 +584,11 @@ pub fn event_from_json(v: &Json) -> Result<TraceEvent, String> {
             cycle,
             decision: v.req_u64("decision")?,
             scheme: v.req_str("scheme")?.to_string(),
+        },
+        "cache_hit" => TraceEvent::CacheHit {
+            cycle,
+            fingerprint: v.req_str("fingerprint")?.to_string(),
+            name: v.req_str("name")?.to_string(),
         },
         "migration" => TraceEvent::Migration {
             cycle,
@@ -694,6 +715,32 @@ mod tests {
         let back = TraceDoc::parse(&text).expect("parses");
         assert_eq!(back, doc);
         assert_eq!(back.to_jsonl(), text, "canonical round-trip");
+    }
+
+    #[test]
+    fn cache_hit_event_roundtrips_and_exports() {
+        let doc = TraceDoc::new(
+            "serve",
+            vec![
+                TraceEvent::CacheHit {
+                    cycle: 1,
+                    fingerprint: "00ff00ff00ff00ff".into(),
+                    name: "one-traffic".into(),
+                },
+                TraceEvent::CacheHit {
+                    cycle: 2,
+                    fingerprint: "1234123412341234".into(),
+                    name: "two-traffic".into(),
+                },
+            ],
+        );
+        let text = doc.to_jsonl();
+        assert!(text.contains("\"kind\": \"cache_hit\""), "{text}");
+        let back = TraceDoc::parse(&text).expect("parses");
+        assert_eq!(back, doc);
+        assert_eq!(back.to_jsonl(), text, "canonical round-trip");
+        let chrome = doc.chrome_trace_json();
+        assert!(chrome.contains("cache hit: one-traffic"), "{chrome}");
     }
 
     #[test]

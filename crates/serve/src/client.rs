@@ -1,0 +1,108 @@
+//! The client side of the protocol: what `hotnoc submit`, `hotnoc serve
+//! --shutdown` and the serve tests are built on.
+
+use crate::protocol::{is_terminal, Endpoint};
+use hotnoc_scenario::json::Json;
+use std::io::{BufRead, BufReader, Write};
+
+/// Sends one request line and reads response lines until the terminal
+/// line (or EOF). Returns the raw lines, exactly as the daemon wrote
+/// them — callers comparing repeat submissions compare these bytes.
+///
+/// # Errors
+///
+/// Propagates connection and stream I/O failures.
+pub fn request(endpoint: &Endpoint, line: &str) -> std::io::Result<Vec<String>> {
+    let mut stream = endpoint.connect()?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut lines = Vec::new();
+    loop {
+        let mut l = String::new();
+        if reader.read_line(&mut l)? == 0 {
+            break; // daemon closed the connection
+        }
+        let l = l.trim_end_matches(['\r', '\n']).to_string();
+        if l.is_empty() {
+            continue;
+        }
+        let done = is_terminal(&l);
+        lines.push(l);
+        if done {
+            break;
+        }
+    }
+    Ok(lines)
+}
+
+/// Builds a submit request line for an already-parsed spec document
+/// under `id`.
+pub fn submit_line(id: &str, spec: &Json) -> String {
+    Json::object(vec![("id", Json::str(id)), ("submit", spec.clone())]).to_string()
+}
+
+/// Probes a daemon; returns the pong line.
+///
+/// # Errors
+///
+/// As [`request`], plus an `UnexpectedEof` if the daemon answered with
+/// nothing.
+pub fn ping(endpoint: &Endpoint) -> std::io::Result<String> {
+    one_line(endpoint, r#"{"op": "ping"}"#)
+}
+
+/// Asks a daemon to drain and exit; returns the acknowledgement line.
+///
+/// # Errors
+///
+/// As [`ping`].
+pub fn shutdown(endpoint: &Endpoint) -> std::io::Result<String> {
+    one_line(endpoint, r#"{"op": "shutdown"}"#)
+}
+
+fn one_line(endpoint: &Endpoint, line: &str) -> std::io::Result<String> {
+    request(endpoint, line)?.into_iter().next().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "daemon closed the connection without responding",
+        )
+    })
+}
+
+/// The exit-code-equivalent status of a response: the terminal (last)
+/// line's `"status"` field, following the CLI 0/1/2 convention. An empty
+/// or unreadable response counts as a runtime failure (1).
+pub fn response_status(lines: &[String]) -> u64 {
+    lines
+        .last()
+        .and_then(|l| Json::parse(l).ok())
+        .and_then(|j| j.get("status").and_then(Json::as_u64))
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_lines_embed_the_spec_verbatim() {
+        let spec = Json::parse(r#"{"name": "x", "seed": 3}"#).unwrap();
+        assert_eq!(
+            submit_line("r1", &spec),
+            r#"{"id": "r1", "submit": {"name": "x", "seed": 3}}"#
+        );
+    }
+
+    #[test]
+    fn response_status_reads_the_terminal_line() {
+        let lines = vec![
+            r#"{"id": "a", "job": 0, "status": 0}"#.to_string(),
+            r#"{"id": "a", "status": 2, "error": "boom"}"#.to_string(),
+        ];
+        assert_eq!(response_status(&lines), 2);
+        assert_eq!(response_status(&[]), 1);
+        assert_eq!(response_status(&["garbage".to_string()]), 1);
+    }
+}
